@@ -1,0 +1,268 @@
+// Command topotamper runs the paper's attack scenarios interactively:
+// pick a scenario, a defense stack, and an attack, and watch the
+// controller's log (including any defense alerts) as the virtual network
+// runs.
+//
+//	topotamper -scenario fig9 -defense topoguard+ -attack oob-amnesia -duration 2m
+//	topotamper -scenario fig2 -defense both -attack port-probing
+//	topotamper -scenario fig1 -defense topoguard -attack naive-fabrication
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sdntamper/internal/attack"
+	"sdntamper/internal/controller"
+	"sdntamper/internal/core"
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topotamper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topotamper", flag.ContinueOnError)
+	scenarioName := fs.String("scenario", "fig9", "topology: fig1, fig2, fig9")
+	defenseName := fs.String("defense", "topoguard+", "defense stack: none, topoguard, sphinx, both, topoguard+")
+	attackName := fs.String("attack", "oob-amnesia", "attack: none, naive-fabrication, oob-amnesia, inband-amnesia, naive-hijack, port-probing, alert-flood")
+	duration := fs.Duration("duration", 2*time.Minute, "virtual time to run")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	quiet := fs.Bool("quiet", false, "suppress the controller log, print only the summary")
+	traceFrames := fs.Int("trace", 0, "tap the attacker/victim NICs and print the last N captured frames")
+	pcapPath := fs.String("pcap", "", "also write tapped frames to this file in libpcap format")
+	dotPath := fs.String("dot", "", "write the final topology view as Graphviz dot to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	defenses, err := parseDefense(*defenseName)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Printf("[ctl] "+format+"\n", a...)
+		}
+	}
+
+	var s *core.Scenario
+	switch *scenarioName {
+	case "fig1":
+		s = core.NewFig1Scenario(*seed, defenses, withLog(logf)...)
+	case "fig2":
+		s = core.NewFig2Scenario(*seed, defenses, withLog(logf)...)
+	case "fig9":
+		s = core.NewFig9Testbed(*seed, defenses, withLog(logf)...)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenarioName)
+	}
+	defer s.Close()
+
+	fmt.Printf("scenario=%s defense=%s attack=%s seed=%d duration=%s\n",
+		*scenarioName, *defenseName, *attackName, *seed, *duration)
+
+	var capture *trace.Log
+	var pcap *trace.Pcap
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pcap, err = trace.NewPcap(s.Net.Kernel, f)
+		if err != nil {
+			return err
+		}
+	}
+	if *traceFrames > 0 {
+		capture = trace.NewLog(s.Net.Kernel, *traceFrames)
+	}
+	if capture != nil || pcap != nil {
+		for _, name := range []string{core.HostAttackerA, core.HostAttackerB, core.HostVictim} {
+			h := s.Net.Host(name)
+			if h == nil {
+				continue
+			}
+			if capture != nil {
+				capture.TapHost(h, name)
+			}
+			if pcap != nil {
+				pcap.TapHost(h)
+			}
+		}
+	}
+
+	// Boot and warm host bindings.
+	if err := s.Run(3 * time.Second); err != nil {
+		return err
+	}
+	warm(s)
+	if err := s.Run(3 * time.Second); err != nil {
+		return err
+	}
+
+	if err := launchAttack(s, *scenarioName, *attackName); err != nil {
+		return err
+	}
+	if err := s.Run(*duration); err != nil {
+		return err
+	}
+
+	fmt.Println("\n--- final state ---")
+	fmt.Println("links:")
+	for _, l := range s.Controller().Links() {
+		fmt.Printf("  %s\n", l)
+	}
+	fmt.Println("hosts:")
+	fmt.Print(indent(s.Controller().HostTableString()))
+	alerts := s.Controller().Alerts()
+	fmt.Printf("alerts: %d\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  %s\n", a)
+	}
+	if capture != nil {
+		fmt.Printf("\n--- last %d of %d captured frames ---\n", len(capture.Events()), capture.Total())
+		fmt.Print(capture.String())
+	}
+	if pcap != nil {
+		if err := pcap.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("pcap: %d frames written to %s\n", pcap.Frames(), *pcapPath)
+	}
+	if *dotPath != "" {
+		dot := s.Controller().TopologyDot(nil)
+		if err := os.WriteFile(*dotPath, []byte(dot), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("topology view written to %s\n", *dotPath)
+	}
+	return nil
+}
+
+func withLog(logf func(string, ...any)) []controller.Option {
+	return []controller.Option{controller.WithLogf(logf)}
+}
+
+func warm(s *core.Scenario) {
+	pairs := [][2]string{
+		{core.HostClient, core.HostServer},
+		{core.HostAttackerA, core.HostClient},
+		{core.HostAttackerB, core.HostServer},
+		{core.HostClient, core.HostVictim},
+		{core.HostAttackerA, core.HostVictim},
+	}
+	for _, p := range pairs {
+		from, to := s.Net.Host(p[0]), s.Net.Host(p[1])
+		if from == nil || to == nil {
+			continue
+		}
+		from.ARPPing(to.IP(), time.Second, func(dataplane.ProbeResult) {})
+	}
+}
+
+func launchAttack(s *core.Scenario, scenarioName, attackName string) error {
+	a := s.Net.Host(core.HostAttackerA)
+	b := s.Net.Host(core.HostAttackerB)
+	switch attackName {
+	case "none":
+		return nil
+	case "naive-fabrication", "oob-amnesia":
+		if s.OOB == nil || a == nil || b == nil {
+			return fmt.Errorf("%s needs a scenario with colluding hosts and an OOB channel (fig1, fig9)", attackName)
+		}
+		attack.NewOOBFabrication(s.Net.Kernel, a, b, s.OOB, attack.FabricationConfig{
+			UseAmnesia:      attackName == "oob-amnesia",
+			BridgeDataplane: true,
+		}).Start()
+	case "inband-amnesia":
+		if a == nil || b == nil {
+			return fmt.Errorf("inband-amnesia needs colluding hosts (fig9)")
+		}
+		attack.NewInBandFabrication(s.Net.Kernel, a, b, 0).Start()
+	case "naive-hijack":
+		victim := s.Net.Host(core.HostVictim)
+		if victim == nil || a == nil {
+			return fmt.Errorf("naive-hijack needs the fig2 scenario")
+		}
+		attack.NaiveHijack(s.Net.Kernel, a, victim.MAC(), victim.IP())
+	case "port-probing":
+		victim := s.Net.Host(core.HostVictim)
+		if victim == nil || a == nil || scenarioName != "fig2" {
+			return fmt.Errorf("port-probing needs the fig2 scenario")
+		}
+		hj := attack.NewHijack(s.Net.Kernel, a, victim.IP(), attack.DefaultHijackConfig(core.AttackerLocFig2()))
+		s.Controller().Register(hj)
+		hj.Start(func(tl attack.Timeline) {
+			fmt.Printf("[attack] hijack complete: controller ack at %s\n", tl.ControllerAck.Format("15:04:05.000"))
+		})
+		// The victim migrates 10 virtual seconds in.
+		s.Net.Kernel.Schedule(10*time.Second, func() {
+			fmt.Println("[victim] beginning migration (interface down)")
+			victim.InterfaceDown()
+		})
+	case "alert-flood":
+		victim := s.Net.Host(core.HostVictim)
+		client := s.Net.Host(core.HostClient)
+		if victim == nil || client == nil || a == nil {
+			return fmt.Errorf("alert-flood needs the fig2 scenario")
+		}
+		attack.NewAlertFlood(s.Net.Kernel, []*dataplane.Host{a}, []attack.SpoofTarget{
+			{MAC: victim.MAC(), IP: victim.IP()},
+			{MAC: client.MAC(), IP: client.IP()},
+		}, 10*time.Millisecond).Start()
+	default:
+		return fmt.Errorf("unknown attack %q", attackName)
+	}
+	return nil
+}
+
+func parseDefense(name string) (core.Defenses, error) {
+	switch name {
+	case "none":
+		return core.NoDefenses(), nil
+	case "topoguard":
+		return core.TopoGuardOnly(), nil
+	case "sphinx":
+		return core.SphinxOnly(), nil
+	case "both":
+		return core.BothBaselines(), nil
+	case "topoguard+", "tgplus":
+		return core.TopoGuardPlus(), nil
+	default:
+		return core.Defenses{}, fmt.Errorf("unknown defense %q", name)
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

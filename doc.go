@@ -1,0 +1,18 @@
+// Package sdntamper is a from-scratch Go reproduction of "Effective
+// Topology Tampering Attacks and Defenses in Software-Defined Networks"
+// (Skowyra, Xu, Gu, Dedhia, Hobson, Okhravi, Landry — DSN 2018).
+//
+// The repository contains a deterministic discrete-event SDN simulation
+// (OpenFlow control plane, switches, hosts, LLDP link discovery), the
+// TopoGuard and SPHINX defenses the paper analyzes, the Port Amnesia and
+// Port Probing attacks it introduces, and the TOPOGUARD+ countermeasures
+// (Control Message Monitor + Link Latency Inspector) it contributes.
+//
+// Start with README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/benchharness            # all tables and figures as text
+//	go run ./cmd/topotamper -h           # interactive attack scenarios
+package sdntamper

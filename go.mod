@@ -1,0 +1,3 @@
+module sdntamper
+
+go 1.22

@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"encoding/binary"
+	"time"
+
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// AlertFlood drowns the operator in defense alerts by spoofing arbitrary
+// end-host identifiers from attacker nodes. Because TopoGuard and SPHINX
+// only alert (they cannot tell attacker from victim, and do not block),
+// the defense itself becomes a denial-of-service amplifier: real attack
+// alerts hide in the noise.
+type AlertFlood struct {
+	kernel   *sim.Kernel
+	spoofers []*dataplane.Host
+	victims  []SpoofTarget
+	interval time.Duration
+
+	ticker *sim.Ticker
+	sent   int
+	next   int
+}
+
+// SpoofTarget is one identity to impersonate.
+type SpoofTarget struct {
+	MAC packet.MAC
+	IP  packet.IPv4Addr
+}
+
+// NewAlertFlood prepares a flood from the given spoofer hosts rotating
+// through the victim identities at the given per-frame interval.
+func NewAlertFlood(kernel *sim.Kernel, spoofers []*dataplane.Host, victims []SpoofTarget, interval time.Duration) *AlertFlood {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &AlertFlood{kernel: kernel, spoofers: spoofers, victims: victims, interval: interval}
+}
+
+// Start begins spoofing; Stop halts it.
+func (f *AlertFlood) Start() {
+	if f.ticker != nil || len(f.spoofers) == 0 || len(f.victims) == 0 {
+		return
+	}
+	f.ticker = f.kernel.NewTicker(f.interval, func() {
+		v := f.victims[f.next%len(f.victims)]
+		sp := f.spoofers[f.next%len(f.spoofers)]
+		f.next++
+		// A spoofed datagram carrying the victim's identifiers, emitted
+		// from the spoofer's port. A per-frame sequence number keeps the
+		// bytes unique so the controller's flood dedup cannot coalesce the
+		// claims.
+		seq := make([]byte, 8)
+		binary.BigEndian.PutUint64(seq, uint64(f.sent))
+		u := &packet.UDP{SrcPort: 31337, DstPort: 31337, Payload: seq}
+		ip := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: v.IP, Dst: packet.IPv4Addr{255, 255, 255, 255}, Payload: u.Marshal()}
+		eth := &packet.Ethernet{Dst: packet.BroadcastMAC, Src: v.MAC, Type: packet.EtherTypeIPv4, Payload: ip.Marshal()}
+		sp.SendRaw(eth.Marshal())
+		f.sent++
+	})
+}
+
+// Stop halts the flood.
+func (f *AlertFlood) Stop() {
+	if f.ticker != nil {
+		f.ticker.Stop()
+		f.ticker = nil
+	}
+}
+
+// Sent reports spoofed frames emitted.
+func (f *AlertFlood) Sent() int { return f.sent }

@@ -1,0 +1,156 @@
+// Package attack implements the paper's topology tampering attacks as
+// automata driving compromised end hosts:
+//
+//   - link fabrication by LLDP relaying over an out-of-band side channel
+//     (Figure 1), with or without the port amnesia precursor;
+//   - the in-band variant, which tunnels captured LLDP through the SDN
+//     itself and must context-switch each colluding port between HOST and
+//     SWITCH profiles using repeated port amnesia resets (Section IV-A);
+//   - port probing followed by host-location hijacking (Figure 2), with
+//     the measurement timeline of Figure 3;
+//   - the alert-flood denial-of-service against the defenses themselves.
+//
+// The attackers hold no controller secrets: every relayed LLDP frame is a
+// byte-for-byte copy of what a switch delivered to a compromised host.
+package attack
+
+import (
+	"time"
+
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/link"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// DefaultHoldDown is how long amnesia cycles hold the interface down:
+// past the 802.3 link-pulse interval so the switch reliably emits
+// Port-Down ("an attacker must wait at least 16 milliseconds", §V-A),
+// with margin for pulse jitter.
+const DefaultHoldDown = dataplane.LinkPulseNominal + 4*time.Millisecond
+
+// DefaultRelayProcessing models the 802.11 encode/decode and usermode
+// bridging cost per relayed frame on the out-of-band channel.
+func DefaultRelayProcessing() sim.Sampler {
+	return sim.Normal{Mean: 500 * time.Microsecond, Std: 100 * time.Microsecond, Min: 100 * time.Microsecond}
+}
+
+// FabricationConfig tunes an out-of-band link fabrication attack.
+type FabricationConfig struct {
+	// UseAmnesia performs the port amnesia reset before relaying begins.
+	// Without it, TopoGuard's HOST profile on the colluding ports catches
+	// the relayed LLDP.
+	UseAmnesia bool
+	// HoldDown is the amnesia interface-down hold (DefaultHoldDown if 0).
+	HoldDown time.Duration
+	// RelayProcessing is per-frame side-channel processing cost.
+	RelayProcessing sim.Sampler
+	// BridgeDataplane relays non-LLDP frames too, making the fabricated
+	// link carry real traffic (the man-in-the-middle configuration).
+	BridgeDataplane bool
+	// DropDataplane makes the bridge a black hole for non-LLDP traffic
+	// while still relaying LLDP — the variant switch counters expose.
+	DropDataplane bool
+	// SettleDelay is how long after the amnesia resets relaying begins.
+	// Separating the resets from the first relayed probe keeps the
+	// Port-Down/Up events outside every LLDP propagation window, which is
+	// what lets the out-of-band variant evade the CMM (Section VI-C).
+	SettleDelay time.Duration
+}
+
+// OOBFabrication relays LLDP between two compromised hosts over an
+// out-of-band channel, convincing the controller a switch-switch link
+// joins their access ports.
+type OOBFabrication struct {
+	kernel *sim.Kernel
+	a, b   *dataplane.Host
+	ch     *link.Channel
+	cfg    FabricationConfig
+
+	lldpAtoB      int
+	lldpBtoA      int
+	bridgedFrames int
+	droppedFrames int
+	started       bool
+}
+
+// NewOOBFabrication prepares the attack. Host a must be wired to channel
+// end A and host b to end B (see netsim.AddOOBChannel).
+func NewOOBFabrication(kernel *sim.Kernel, a, b *dataplane.Host, ch *link.Channel, cfg FabricationConfig) *OOBFabrication {
+	if cfg.HoldDown <= 0 {
+		cfg.HoldDown = DefaultHoldDown
+	}
+	if cfg.RelayProcessing == nil {
+		cfg.RelayProcessing = DefaultRelayProcessing()
+	}
+	if cfg.SettleDelay <= 0 {
+		cfg.SettleDelay = 500 * time.Millisecond
+	}
+	return &OOBFabrication{kernel: kernel, a: a, b: b, ch: ch, cfg: cfg}
+}
+
+// Start launches the attack: optional amnesia resets, then transparent
+// bridging of LLDP (and optionally all traffic) across the side channel.
+func (f *OOBFabrication) Start() {
+	if f.started {
+		return
+	}
+	f.started = true
+	if !f.cfg.UseAmnesia {
+		f.installBridges()
+		return
+	}
+	// The one-time amnesia reset: both colluding ports go down long
+	// enough for the switches to emit Port-Down (clearing any HOST
+	// profile), then come back. Relaying begins only afterwards, so the
+	// resets never fall inside a relayed probe's propagation window —
+	// which is what lets the OOB variant evade the CMM.
+	remaining := 2
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			f.kernel.Schedule(f.cfg.SettleDelay, f.installBridges)
+		}
+	}
+	f.a.CycleInterface(f.cfg.HoldDown, done)
+	f.b.CycleInterface(f.cfg.HoldDown, done)
+}
+
+func (f *OOBFabrication) installBridges() {
+	f.a.Promiscuous = true
+	f.b.Promiscuous = true
+	f.a.OnFrame = f.bridgeHook(link.EndA, &f.lldpAtoB)
+	f.b.OnFrame = f.bridgeHook(link.EndB, &f.lldpBtoA)
+	f.ch.OnReceive(link.EndB, func(raw []byte) { f.b.SendRaw(raw) })
+	f.ch.OnReceive(link.EndA, func(raw []byte) { f.a.SendRaw(raw) })
+}
+
+func (f *OOBFabrication) bridgeHook(from link.End, lldpCounter *int) func(*packet.Ethernet, []byte) bool {
+	return func(eth *packet.Ethernet, raw []byte) bool {
+		proc := f.cfg.RelayProcessing.Sample(f.kernel.Rand())
+		if eth.Type == packet.EtherTypeLLDP {
+			*lldpCounter++
+			f.ch.SendAfter(from, proc, raw)
+			return true
+		}
+		if !f.cfg.BridgeDataplane {
+			return false // fall through to normal host behaviour
+		}
+		if f.cfg.DropDataplane {
+			f.droppedFrames++
+			return true // black hole
+		}
+		f.bridgedFrames++
+		f.ch.SendAfter(from, proc, raw)
+		return true
+	}
+}
+
+// RelayedLLDP reports LLDP frames relayed in each direction.
+func (f *OOBFabrication) RelayedLLDP() (aToB, bToA int) { return f.lldpAtoB, f.lldpBtoA }
+
+// BridgedFrames reports non-LLDP frames carried over the side channel.
+func (f *OOBFabrication) BridgedFrames() int { return f.bridgedFrames }
+
+// DroppedFrames reports non-LLDP frames black-holed by the bridge.
+func (f *OOBFabrication) DroppedFrames() int { return f.droppedFrames }

@@ -1,0 +1,231 @@
+package attack
+
+import (
+	"math"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// HijackConfig tunes the port probing + host-location hijacking attack.
+type HijackConfig struct {
+	// ScanInterval is the gap between liveness probes once the previous
+	// probe resolved (the paper sends 1 packet every 50 ms).
+	ScanInterval time.Duration
+	// ProbeTimeout is how long an unanswered probe waits before the
+	// victim is declared offline. Zero means calibrate on the fly, as
+	// §V-B1 describes: measure the victim RTT distribution and pick a
+	// high quantile (the paper's testbed derivation of 35 ms from
+	// N(20ms, 5ms) RTTs at a 1% false-positive rate).
+	ProbeTimeout time.Duration
+	// CalibrationProbes is how many RTT measurements the calibration
+	// phase takes (default 10).
+	CalibrationProbes int
+	// ToolOverhead models the scan tool's per-invocation cost (Table I
+	// puts nmap's ARP scan at 133.5 +/- 1.6 ms). Use sim.Const(0) for a
+	// mechanism-only measurement.
+	ToolOverhead sim.Sampler
+	// AttackerLoc is the attacker's switch port, used to recognize the
+	// controller acknowledging the stolen binding.
+	AttackerLoc controller.PortRef
+}
+
+// DefaultHijackConfig returns the paper's attack parameters.
+func DefaultHijackConfig(attackerLoc controller.PortRef) HijackConfig {
+	return HijackConfig{
+		ScanInterval: 50 * time.Millisecond,
+		ProbeTimeout: 0, // calibrate from measured RTTs
+		ToolOverhead: sim.Normal{Mean: 133500 * time.Microsecond, Std: 1600 * time.Microsecond, Min: 100 * time.Millisecond},
+		AttackerLoc:  attackerLoc,
+	}
+}
+
+// Timeline records the measurement points of Figure 3. Zero times mean
+// the phase has not occurred.
+type Timeline struct {
+	// VictimMAC is the identity harvested with arping.
+	VictimMAC packet.MAC
+	// LastPingStart is when the final (unanswered) probe was emitted
+	// (Figure 7's measurement).
+	LastPingStart time.Time
+	// KnownOffline is when that probe timed out — the earliest the
+	// attacker knows the victim left (Figure 8).
+	KnownOffline time.Time
+	// IdentityChanged is when the attacker interface came up with the
+	// victim's identity (Figure 5).
+	IdentityChanged time.Time
+	// IdentityChangeTook is the ifconfig duration (a Figure 4 sample).
+	IdentityChangeTook time.Duration
+	// TrafficSent is when the attacker originated traffic as the victim.
+	TrafficSent time.Time
+	// ControllerAck is when the Host Tracking Service bound the victim's
+	// identity to the attacker's port (Figure 6).
+	ControllerAck time.Time
+}
+
+// Hijack is the port probing + host-location hijacking automaton. It also
+// acts as a controller security-module observer purely to timestamp the
+// ControllerAck phase, mirroring the paper's controller-side
+// instrumentation; it performs no defensive function.
+type Hijack struct {
+	kernel   *sim.Kernel
+	attacker *dataplane.Host
+	victimIP packet.IPv4Addr
+	cfg      HijackConfig
+
+	tl         Timeline
+	scanCount  int
+	onComplete func(Timeline)
+	active     bool
+}
+
+// NewHijack prepares the attack from the attacker host against the victim
+// IP address.
+func NewHijack(kernel *sim.Kernel, attacker *dataplane.Host, victimIP packet.IPv4Addr, cfg HijackConfig) *Hijack {
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 50 * time.Millisecond
+	}
+	if cfg.CalibrationProbes <= 0 {
+		cfg.CalibrationProbes = 10
+	}
+	if cfg.ToolOverhead == nil {
+		cfg.ToolOverhead = sim.Const(0)
+	}
+	return &Hijack{kernel: kernel, attacker: attacker, victimIP: victimIP, cfg: cfg}
+}
+
+var (
+	_ controller.SecurityModule   = (*Hijack)(nil)
+	_ controller.HostMoveObserver = (*Hijack)(nil)
+)
+
+// ModuleName implements controller.SecurityModule (measurement only).
+func (h *Hijack) ModuleName() string { return "attack/hijack-instrumentation" }
+
+// ObserveHostMove implements controller.HostMoveObserver: the attack is
+// complete when the victim identity lands on the attacker's port.
+func (h *Hijack) ObserveHostMove(ev *controller.HostMoveEvent) {
+	if !h.active || h.tl.ControllerAck != (time.Time{}) {
+		return
+	}
+	if ev.MAC == h.tl.VictimMAC && ev.New == h.cfg.AttackerLoc {
+		h.tl.ControllerAck = ev.When
+		h.active = false
+		if h.onComplete != nil {
+			h.onComplete(h.tl)
+		}
+	}
+}
+
+// Timeline snapshots the phases recorded so far.
+func (h *Hijack) Timeline() Timeline { return h.tl }
+
+// ScanCount reports how many liveness probes were emitted.
+func (h *Hijack) ScanCount() int { return h.scanCount }
+
+// Start launches the attack. onComplete fires once the controller
+// acknowledges the attacker as the victim (or never, if the attack is
+// blocked by a defense).
+func (h *Hijack) Start(onComplete func(Timeline)) {
+	h.onComplete = onComplete
+	h.active = true
+	// Phase 1: harvest the victim's MAC with arping.
+	h.attacker.ARPPing(h.victimIP, calibrationTimeout, func(r dataplane.ProbeResult) {
+		if !r.Alive {
+			// Victim not present yet; retry shortly.
+			h.kernel.Schedule(h.cfg.ScanInterval, func() { h.Start(onComplete) })
+			return
+		}
+		h.tl.VictimMAC = r.MAC
+		if h.cfg.ProbeTimeout > 0 {
+			h.scheduleScan()
+			return
+		}
+		h.calibrate(nil)
+	})
+}
+
+// calibrationTimeout bounds one calibration RTT measurement.
+const calibrationTimeout = 500 * time.Millisecond
+
+// calibrate measures the victim RTT distribution and derives the probe
+// timeout as mean + 3 standard deviations (approximately the 99.9th
+// percentile for near-normal RTTs), with a small floor for degenerate
+// zero-variance paths.
+func (h *Hijack) calibrate(rtts []time.Duration) {
+	if len(rtts) >= h.cfg.CalibrationProbes {
+		var mean, m2 float64
+		for i, r := range rtts {
+			delta := float64(r) - mean
+			mean += delta / float64(i+1)
+			m2 += delta * (float64(r) - mean)
+		}
+		std := 0.0
+		if len(rtts) > 1 {
+			std = m2 / float64(len(rtts)-1)
+		}
+		timeout := time.Duration(mean + 3*math.Sqrt(std))
+		if timeout < time.Duration(mean)+5*time.Millisecond {
+			timeout = time.Duration(mean) + 5*time.Millisecond
+		}
+		h.cfg.ProbeTimeout = timeout
+		h.scheduleScan()
+		return
+	}
+	h.kernel.Schedule(h.cfg.ScanInterval, func() {
+		h.attacker.ARPPing(h.victimIP, calibrationTimeout, func(r dataplane.ProbeResult) {
+			if r.Alive {
+				rtts = append(rtts, r.RTT)
+			}
+			h.calibrate(rtts)
+		})
+	})
+}
+
+// ProbeTimeout reports the (possibly calibrated) probe timeout in use.
+func (h *Hijack) ProbeTimeout() time.Duration { return h.cfg.ProbeTimeout }
+
+// scheduleScan runs one liveness probe cycle: tool overhead, then the ARP
+// probe, then either the next cycle (victim alive) or the hijack (victim
+// gone).
+func (h *Hijack) scheduleScan() {
+	overhead := h.cfg.ToolOverhead.Sample(h.kernel.Rand())
+	h.kernel.Schedule(overhead, func() {
+		h.scanCount++
+		start := h.kernel.Now()
+		h.attacker.ARPPing(h.victimIP, h.cfg.ProbeTimeout, func(r dataplane.ProbeResult) {
+			if r.Alive {
+				h.kernel.Schedule(h.cfg.ScanInterval, h.scheduleScan)
+				return
+			}
+			h.tl.LastPingStart = start
+			h.tl.KnownOffline = h.kernel.Now()
+			h.assumeIdentity()
+		})
+	})
+}
+
+// assumeIdentity performs the conventional host-location hijack: take the
+// victim's MAC and IP (ifconfig), then originate traffic so the Host
+// Tracking Service completes the "migration".
+func (h *Hijack) assumeIdentity() {
+	h.attacker.ChangeIdentity(h.tl.VictimMAC, h.victimIP, func(took time.Duration) {
+		h.tl.IdentityChanged = h.kernel.Now()
+		h.tl.IdentityChangeTook = took
+		// Any dataplane traffic suffices; a gratuitous ARP is what a
+		// genuinely migrated host would emit.
+		h.attacker.Send(packet.NewARPRequest(h.tl.VictimMAC, h.victimIP, h.victimIP))
+		h.tl.TrafficSent = h.kernel.Now()
+	})
+}
+
+// NaiveHijack assumes the victim's identity immediately, without waiting
+// for the victim to leave — the baseline both TopoGuard and SPHINX catch.
+func NaiveHijack(kernel *sim.Kernel, attacker *dataplane.Host, victimMAC packet.MAC, victimIP packet.IPv4Addr) {
+	attacker.ChangeIdentity(victimMAC, victimIP, func(time.Duration) {
+		attacker.Send(packet.NewARPRequest(victimMAC, victimIP, victimIP))
+	})
+}

@@ -1,0 +1,469 @@
+package controller
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"sdntamper/internal/lldp"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// Reserved controller identities. The local-admin 02:c0:ff prefix marks
+// controller-originated frames so the Host Tracking Service never mistakes
+// its own probes for end hosts.
+var (
+	// ControllerMAC sources controller host-liveness probes.
+	ControllerMAC = packet.MAC{0x02, 0xc0, 0xff, 0x00, 0x00, 0x01}
+	// ControllerIP is the source address of controller probes.
+	ControllerIP = packet.IPv4Addr{10, 254, 254, 1}
+	// pathProbeMAC sources control-link latency probe frames.
+	pathProbeMAC = packet.MAC{0x02, 0xc0, 0xff, 0x00, 0x00, 0x02}
+)
+
+// pathProbeEtherType tags control-link latency probe frames (an
+// experimental EtherType so no dataplane protocol collides with it).
+const pathProbeEtherType packet.EtherType = 0x88b5
+
+// Default forwarding constants (Floodlight defaults).
+const (
+	flowIdleTimeoutSecs = 5
+	flowPriority        = 10
+	floodCacheWindow    = time.Second
+	linkSweepInterval   = time.Second
+	lldpTTLSecs         = 120
+)
+
+// Controller is the simulated SDN controller.
+type Controller struct {
+	kernel    *sim.Kernel
+	profile   Profile
+	keychain  *lldp.Keychain
+	stampLLDP bool
+	logf      func(format string, args ...any)
+
+	conns   map[uint64]*Conn
+	pending []*Conn // connections awaiting FeaturesReply
+	xid     uint32
+
+	links       map[Link]time.Time // link -> last refresh
+	linkBorn    map[Link]time.Time // link -> first discovery
+	hosts       map[packet.MAC]*HostEntry
+	flowModLog  []openflow.FlowMod
+	floodCache  map[uint64]floodEntry
+	pendingLLDP map[PortRef]time.Time
+
+	pendingEchoes     map[uint32]*pendingEcho
+	pendingPathProbes map[uint64]*pendingPathProbe
+	pendingHostProbes map[uint16]*pendingHostProbe
+	pendingStats      map[uint32]pendingStats
+	probeNonce        uint64
+	icmpID            uint16
+
+	modules       []SecurityModule
+	interceptors  []PacketInInterceptor
+	portObservers []PortStatusObserver
+	linkApprovers []LinkApprover
+	linkObservers []LinkObserver
+	moveApprovers []HostMoveApprover
+	moveObservers []HostMoveObserver
+	lldpObservers []LLDPSendObserver
+	fmObservers   []FlowModObserver
+
+	alerts []Alert
+
+	discoveryTicker *sim.Ticker
+	sweepTicker     *sim.Ticker
+}
+
+var _ API = (*Controller)(nil)
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithProfile selects the controller timing profile (default Floodlight).
+func WithProfile(p Profile) Option {
+	return func(c *Controller) { c.profile = p }
+}
+
+// WithKeychain enables HMAC-signed LLDP using the given keys (TopoGuard's
+// authenticated LLDP).
+func WithKeychain(k *lldp.Keychain) Option {
+	return func(c *Controller) { c.keychain = k }
+}
+
+// WithLLDPTimestamps adds the encrypted departure-timestamp TLV to every
+// LLDP probe (TopoGuard+'s LLI extension). Requires a keychain.
+func WithLLDPTimestamps() Option {
+	return func(c *Controller) { c.stampLLDP = true }
+}
+
+// WithLogf routes controller log lines (including alerts) to fn.
+func WithLogf(fn func(format string, args ...any)) Option {
+	return func(c *Controller) { c.logf = fn }
+}
+
+// New creates a controller on the given kernel and starts its link
+// discovery and link timeout sweeps.
+func New(kernel *sim.Kernel, opts ...Option) *Controller {
+	c := &Controller{
+		kernel:            kernel,
+		profile:           Floodlight,
+		conns:             make(map[uint64]*Conn),
+		links:             make(map[Link]time.Time),
+		linkBorn:          make(map[Link]time.Time),
+		hosts:             make(map[packet.MAC]*HostEntry),
+		floodCache:        make(map[uint64]floodEntry),
+		pendingLLDP:       make(map[PortRef]time.Time),
+		pendingEchoes:     make(map[uint32]*pendingEcho),
+		pendingPathProbes: make(map[uint64]*pendingPathProbe),
+		pendingHostProbes: make(map[uint16]*pendingHostProbe),
+		icmpID:            0x4000,
+		logf:              func(string, ...any) {},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.discoveryTicker = kernel.NewTicker(c.profile.DiscoveryInterval, c.runDiscovery)
+	c.sweepTicker = kernel.NewTicker(linkSweepInterval, c.sweepLinks)
+	return c
+}
+
+// Shutdown stops the controller's background tickers.
+func (c *Controller) Shutdown() {
+	c.discoveryTicker.Stop()
+	c.sweepTicker.Stop()
+}
+
+// Register adds a security module and wires every hook interface it
+// implements.
+func (c *Controller) Register(m SecurityModule) {
+	c.modules = append(c.modules, m)
+	if b, ok := m.(Binder); ok {
+		b.Bind(c)
+	}
+	if h, ok := m.(PacketInInterceptor); ok {
+		c.interceptors = append(c.interceptors, h)
+	}
+	if h, ok := m.(PortStatusObserver); ok {
+		c.portObservers = append(c.portObservers, h)
+	}
+	if h, ok := m.(LinkApprover); ok {
+		c.linkApprovers = append(c.linkApprovers, h)
+	}
+	if h, ok := m.(LinkObserver); ok {
+		c.linkObservers = append(c.linkObservers, h)
+	}
+	if h, ok := m.(HostMoveApprover); ok {
+		c.moveApprovers = append(c.moveApprovers, h)
+	}
+	if h, ok := m.(HostMoveObserver); ok {
+		c.moveObservers = append(c.moveObservers, h)
+	}
+	if h, ok := m.(LLDPSendObserver); ok {
+		c.lldpObservers = append(c.lldpObservers, h)
+	}
+	if h, ok := m.(FlowModObserver); ok {
+		c.fmObservers = append(c.fmObservers, h)
+	}
+}
+
+// Conn is the controller side of one switch control connection.
+type Conn struct {
+	ctl   *Controller
+	send  func([]byte)
+	dpid  uint64
+	ports map[uint32]openflow.PortDesc
+}
+
+// Connect opens a control connection whose upstream transmit function is
+// send, and begins the Hello/Features handshake. Wire the returned Conn's
+// Handle method as the receive callback of the same channel.
+func (c *Controller) Connect(send func([]byte)) *Conn {
+	conn := &Conn{ctl: c, send: send, ports: make(map[uint32]openflow.PortDesc)}
+	c.pending = append(c.pending, conn)
+	conn.sendMsg(&openflow.Hello{})
+	conn.sendMsg(&openflow.FeaturesRequest{})
+	return conn
+}
+
+func (conn *Conn) sendMsg(m openflow.Message) uint32 {
+	conn.ctl.xid++
+	xid := conn.ctl.xid
+	conn.send(openflow.Marshal(xid, m))
+	return xid
+}
+
+// DPID reports the switch's datapath id (0 until the handshake finishes).
+func (conn *Conn) DPID() uint64 { return conn.dpid }
+
+// Handle processes one OpenFlow message arriving from the switch.
+func (conn *Conn) Handle(data []byte) {
+	xid, m, err := openflow.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	c := conn.ctl
+	switch msg := m.(type) {
+	case *openflow.Hello:
+		// Handshake pleasantry.
+	case *openflow.FeaturesReply:
+		conn.dpid = msg.DatapathID
+		for _, p := range msg.Ports {
+			conn.ports[p.No] = p
+		}
+		c.conns[conn.dpid] = conn
+		for i, p := range c.pending {
+			if p == conn {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				break
+			}
+		}
+		c.logf("switch 0x%x connected with %d ports", conn.dpid, len(msg.Ports))
+		// Floodlight probes a switch's ports as soon as it joins rather
+		// than waiting out a full discovery interval.
+		for _, p := range msg.Ports {
+			if p.Up {
+				c.emitLLDP(conn.dpid, p.No)
+			}
+		}
+	case *openflow.EchoRequest:
+		// Real peers keepalive the control channel; answer in kind.
+		conn.send(openflow.Marshal(xid, &openflow.EchoReply{Data: msg.Data}))
+	case *openflow.EchoReply:
+		c.resolveEcho(xid)
+	case *openflow.PortStatus:
+		conn.ports[msg.Desc.No] = msg.Desc
+		c.handlePortStatus(conn.dpid, msg)
+	case *openflow.PacketIn:
+		c.handlePacketIn(conn, msg)
+	case *openflow.StatsReply:
+		c.resolveStats(xid, msg)
+	}
+}
+
+// handlePortStatus distributes a Port-Status event and maintains topology:
+// links whose endpoint went down are evicted, as Floodlight does.
+func (c *Controller) handlePortStatus(dpid uint64, msg *openflow.PortStatus) {
+	ev := &PortStatusEvent{DPID: dpid, Status: msg, When: c.kernel.Now()}
+	if ev.Down() {
+		ref := ev.Loc()
+		for l := range c.links {
+			if l.Src == ref || l.Dst == ref {
+				delete(c.links, l)
+			}
+		}
+	}
+	for _, o := range c.portObservers {
+		o.ObservePortStatus(ev)
+	}
+	// A restored port is probed immediately, as Floodlight's link
+	// discovery reacts to port-status changes.
+	if !ev.Down() {
+		c.emitLLDP(dpid, msg.Desc.No)
+	}
+}
+
+// handlePacketIn decodes and routes one Packet-In through internal probe
+// resolution, module interceptors, and then link discovery or the host
+// pipeline.
+func (c *Controller) handlePacketIn(conn *Conn, msg *openflow.PacketIn) {
+	eth, err := packet.UnmarshalEthernet(msg.Data)
+	if err != nil {
+		return
+	}
+	// Internal probe returns never reach modules or services.
+	if eth.Src == pathProbeMAC && eth.Type == pathProbeEtherType {
+		c.resolvePathProbe(eth)
+		return
+	}
+	ev := &PacketInEvent{
+		DPID:   conn.dpid,
+		InPort: msg.InPort,
+		Reason: msg.Reason,
+		Data:   msg.Data,
+		Eth:    eth,
+		Fields: openflow.ExtractFields(msg.InPort, msg.Data),
+		When:   c.kernel.Now(),
+	}
+	if eth.Type == packet.EtherTypeLLDP {
+		if f, err := lldp.Unmarshal(eth.Payload); err == nil {
+			ev.IsLLDP = true
+			ev.LLDP = f
+		}
+	}
+	if c.resolveHostProbe(ev) {
+		return
+	}
+	// Suppress our own recently-flooded frames re-entering via another
+	// switch (e.g. over a trunk not yet in the topology): they are echo,
+	// not fresh dataplane evidence, for the security modules as much as
+	// for host learning.
+	if !ev.IsLLDP && c.isRecentFlood(ev) {
+		return
+	}
+	for _, h := range c.interceptors {
+		if !h.InterceptPacketIn(ev) {
+			return
+		}
+	}
+	if ev.IsLLDP {
+		c.handleLLDPIn(ev)
+		return
+	}
+	c.observeHost(ev)
+	c.forward(ev)
+}
+
+// RaiseAlert implements API.
+func (c *Controller) RaiseAlert(module, reason, detail string) {
+	a := Alert{At: c.kernel.Now(), Module: module, Reason: reason, Detail: detail}
+	c.alerts = append(c.alerts, a)
+	c.logf("%s", a.String())
+}
+
+// Alerts snapshots all alerts raised so far.
+func (c *Controller) Alerts() []Alert {
+	out := make([]Alert, len(c.alerts))
+	copy(out, c.alerts)
+	return out
+}
+
+// AlertsByReason returns the alerts with the given reason code.
+func (c *Controller) AlertsByReason(reason string) []Alert {
+	var out []Alert
+	for _, a := range c.alerts {
+		if a.Reason == reason {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Now implements API.
+func (c *Controller) Now() time.Time { return c.kernel.Now() }
+
+// Schedule implements API.
+func (c *Controller) Schedule(d time.Duration, fn func()) *sim.Event {
+	return c.kernel.Schedule(d, fn)
+}
+
+// Rand implements API.
+func (c *Controller) Rand() *rand.Rand { return c.kernel.Rand() }
+
+// Keychain implements API.
+func (c *Controller) Keychain() *lldp.Keychain { return c.keychain }
+
+// Profile implements API.
+func (c *Controller) Profile() Profile { return c.profile }
+
+// Links implements API.
+func (c *Controller) Links() []Link {
+	out := make([]Link, 0, len(c.links))
+	for l := range c.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src.DPID < out[j].Src.DPID ||
+				(out[i].Src.DPID == out[j].Src.DPID && out[i].Src.Port < out[j].Src.Port)
+		}
+		return out[i].Dst.DPID < out[j].Dst.DPID ||
+			(out[i].Dst.DPID == out[j].Dst.DPID && out[i].Dst.Port < out[j].Dst.Port)
+	})
+	return out
+}
+
+// HasLink reports whether the directed link is currently in the topology.
+func (c *Controller) HasLink(l Link) bool {
+	_, ok := c.links[l]
+	return ok
+}
+
+// LinkPorts implements API.
+func (c *Controller) LinkPorts() map[PortRef]bool {
+	out := make(map[PortRef]bool, 2*len(c.links))
+	for l := range c.links {
+		out[l.Src] = true
+		out[l.Dst] = true
+	}
+	return out
+}
+
+// RemoveLink implements API.
+func (c *Controller) RemoveLink(l Link) {
+	delete(c.links, l)
+	delete(c.linkBorn, l)
+}
+
+// HostByMAC implements API.
+func (c *Controller) HostByMAC(mac packet.MAC) (HostEntry, bool) {
+	if h, ok := c.hosts[mac]; ok {
+		return *h, true
+	}
+	return HostEntry{}, false
+}
+
+// Hosts snapshots the host tracking table, ordered by MAC.
+func (c *Controller) Hosts() []HostEntry {
+	out := make([]HostEntry, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for b := 0; b < 6; b++ {
+			if out[i].MAC[b] != out[j].MAC[b] {
+				return out[i].MAC[b] < out[j].MAC[b]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Switches implements API.
+func (c *Controller) Switches() []uint64 {
+	out := make([]uint64, 0, len(c.conns))
+	for dpid := range c.conns {
+		out = append(out, dpid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlowModLog returns every FlowMod the controller has pushed, in order.
+func (c *Controller) FlowModLog() []openflow.FlowMod {
+	out := make([]openflow.FlowMod, len(c.flowModLog))
+	copy(out, c.flowModLog)
+	return out
+}
+
+// sendFlowMod pushes a FlowMod to a switch, logging it and notifying
+// FlowMod observers (SPHINX builds its trusted state from these).
+func (c *Controller) sendFlowMod(dpid uint64, fm *openflow.FlowMod) {
+	conn, ok := c.conns[dpid]
+	if !ok {
+		return
+	}
+	c.flowModLog = append(c.flowModLog, *fm)
+	for _, o := range c.fmObservers {
+		o.ObserveFlowMod(dpid, fm)
+	}
+	conn.sendMsg(fm)
+}
+
+// sendPacketOut injects a packet at a switch.
+func (c *Controller) sendPacketOut(dpid uint64, inPort uint32, actions []openflow.Action, data []byte) {
+	conn, ok := c.conns[dpid]
+	if !ok {
+		return
+	}
+	conn.sendMsg(&openflow.PacketOut{
+		BufferID: openflow.NoBuffer,
+		InPort:   inPort,
+		Actions:  actions,
+		Data:     data,
+	})
+}

@@ -1,0 +1,133 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"sdntamper/internal/lldp"
+	"sdntamper/internal/openflow"
+)
+
+// runDiscovery emits one LLDP probe per connected switch port, exactly as
+// Floodlight's LinkDiscoveryManager does each discovery interval: a
+// Packet-Out per port whose payload is an LLDP frame naming the origin
+// (chassis = DPID, port id = port number). Iteration is sorted so runs
+// are reproducible (map order would otherwise reorder RNG draws).
+func (c *Controller) runDiscovery() {
+	for _, dpid := range c.Switches() {
+		conn := c.conns[dpid]
+		for _, no := range sortedPorts(conn.ports) {
+			if !conn.ports[no].Up {
+				continue
+			}
+			c.emitLLDP(dpid, no)
+		}
+	}
+}
+
+// sortedPorts returns a port map's keys in ascending order.
+func sortedPorts(ports map[uint32]openflow.PortDesc) []uint32 {
+	out := make([]uint32, 0, len(ports))
+	for no := range ports {
+		out = append(out, no)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// emitLLDP constructs, optionally stamps and signs, and emits one LLDP
+// probe out of the given port.
+func (c *Controller) emitLLDP(dpid uint64, port uint32) {
+	frame := c.BuildLLDP(dpid, port)
+	origin := PortRef{DPID: dpid, Port: port}
+	c.pendingLLDP[origin] = c.kernel.Now()
+	ev := &LLDPSendEvent{Origin: origin, SentAt: c.kernel.Now()}
+	for _, o := range c.lldpObservers {
+		o.ObserveLLDPSend(ev)
+	}
+	eth := lldp.NewEthernet(switchPortMAC(dpid, port), frame)
+	c.sendPacketOut(dpid, openflow.PortNone, []openflow.Action{openflow.Output(port)}, eth.Marshal())
+}
+
+// BuildLLDP constructs the LLDP frame the controller would emit for the
+// given origin, including timestamp and signature TLVs per configuration.
+// Exposed so benchmarks can measure construction cost (Table II).
+func (c *Controller) BuildLLDP(dpid uint64, port uint32) *lldp.Frame {
+	frame := &lldp.Frame{ChassisID: dpid, PortID: port, TTLSecs: lldpTTLSecs}
+	if c.keychain != nil {
+		if c.stampLLDP {
+			frame.Timestamp = c.keychain.SealTimestamp(c.kernel.Now())
+		}
+		c.keychain.Sign(frame)
+	}
+	return frame
+}
+
+// switchPortMAC synthesizes the source MAC a switch port uses for LLDP.
+func switchPortMAC(dpid uint64, port uint32) [6]byte {
+	return [6]byte{0x0e, byte(dpid >> 16), byte(dpid >> 8), byte(dpid), byte(port >> 8), byte(port)}
+}
+
+// handleLLDPIn processes an LLDP Packet-In: authenticate, reconstruct the
+// probe identity, consult link approvers, and update the topology.
+func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
+	frame := ev.LLDP
+	if c.keychain != nil {
+		if err := c.keychain.Verify(frame); err != nil {
+			c.RaiseAlert("LinkDiscoveryManager", "lldp-auth-failure",
+				fmt.Sprintf("unsigned or forged LLDP received on %s", ev.Loc()))
+			return
+		}
+	}
+	src := PortRef{DPID: frame.ChassisID, Port: frame.PortID}
+	dst := ev.Loc()
+	if src == dst {
+		return // self-reception artifact
+	}
+	l := Link{Src: src, Dst: dst}
+
+	sentAt := ev.When
+	if c.keychain != nil && frame.Timestamp != nil {
+		if t, err := c.keychain.OpenTimestamp(frame.Timestamp); err == nil {
+			sentAt = t
+		}
+	} else if t, ok := c.pendingLLDP[src]; ok {
+		sentAt = t
+	}
+
+	_, exists := c.links[l]
+	linkEv := &LinkEvent{
+		Link:       l,
+		Frame:      frame,
+		SentAt:     sentAt,
+		ReceivedAt: ev.When,
+		IsNew:      !exists,
+	}
+	for _, a := range c.linkApprovers {
+		if !a.ApproveLink(linkEv) {
+			return
+		}
+	}
+	if linkEv.IsNew {
+		c.logf("link discovered: %s", l)
+		c.linkBorn[l] = ev.When
+	}
+	c.links[l] = ev.When
+	for _, o := range c.linkObservers {
+		o.ObserveLink(linkEv)
+	}
+}
+
+// sweepLinks evicts links that have not been re-verified within the
+// profile's link timeout (Table III: timeout exceeds the probe interval by
+// 2-3x so isolated missed probes do not flap the topology).
+func (c *Controller) sweepLinks() {
+	now := c.kernel.Now()
+	for l, seen := range c.links {
+		if now.Sub(seen) >= c.profile.LinkTimeout {
+			delete(c.links, l)
+			delete(c.linkBorn, l)
+			c.logf("link timed out: %s", l)
+		}
+	}
+}

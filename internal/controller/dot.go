@@ -1,0 +1,38 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TopologyDot renders the controller's current view — switches, inferred
+// links, and tracked hosts — as a Graphviz digraph, so a poisoned
+// topology can be seen at a glance (fabricated links render dashed red
+// when flagged by the caller via suspect).
+func (c *Controller) TopologyDot(suspect func(Link) bool) string {
+	var b strings.Builder
+	b.WriteString("digraph topology {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontname=\"monospace\"];\n")
+
+	for _, dpid := range c.Switches() {
+		fmt.Fprintf(&b, "  sw%x [shape=box, label=\"switch 0x%x\"];\n", dpid, dpid)
+	}
+	for _, l := range c.Links() {
+		attrs := fmt.Sprintf("label=\"%d->%d\"", l.Src.Port, l.Dst.Port)
+		if suspect != nil && suspect(l) {
+			attrs += ", color=red, style=dashed"
+		}
+		fmt.Fprintf(&b, "  sw%x -> sw%x [%s];\n", l.Src.DPID, l.Dst.DPID, attrs)
+	}
+
+	hosts := c.Hosts()
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].IP.String() < hosts[j].IP.String() })
+	for i, h := range hosts {
+		fmt.Fprintf(&b, "  h%d [shape=ellipse, label=\"%s\\n%s\"];\n", i, h.IP, h.MAC)
+		fmt.Fprintf(&b, "  h%d -> sw%x [dir=none, label=\"p%d\"];\n", i, h.Loc.DPID, h.Loc.Port)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

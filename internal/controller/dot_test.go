@@ -1,0 +1,47 @@
+package controller_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/packet"
+)
+
+func TestTopologyDot(t *testing.T) {
+	n := twoSwitchNet(t)
+	if err := n.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.Host("h1").SendUDP(packet.BroadcastMAC, packet.MustIPv4("10.0.0.255"), 1, 2, nil)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dot := n.Controller.TopologyDot(func(l controller.Link) bool {
+		return l.Src.Port == 3 && l.Src.DPID == 0x2 // mark one direction suspect
+	})
+	for _, want := range []string{
+		"digraph topology",
+		`sw1 [shape=box, label="switch 0x1"]`,
+		"sw1 -> sw2",
+		"color=red, style=dashed",
+		"10.0.0.1",
+		"h0 -> sw1",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestTopologyDotNilSuspect(t *testing.T) {
+	n := twoSwitchNet(t)
+	if err := n.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dot := n.Controller.TopologyDot(nil)
+	if strings.Contains(dot, "color=red") {
+		t.Fatal("nil suspect marked links")
+	}
+}

@@ -1,0 +1,196 @@
+package controller
+
+import (
+	"hash/fnv"
+	"time"
+
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+)
+
+// forward implements the reactive forwarding service: known unicast
+// destinations get a shortest-path flow installed; everything else floods
+// over access ports.
+func (c *Controller) forward(ev *PacketInEvent) {
+	dst := ev.Eth.Dst
+	if dst.IsBroadcast() || dst == lldpMulticast {
+		c.flood(ev)
+		return
+	}
+	target, known := c.hosts[dst]
+	if !known {
+		c.flood(ev)
+		return
+	}
+	src := ev.Loc()
+	path, ok := c.shortestPath(src.DPID, target.Loc.DPID)
+	if !ok {
+		c.flood(ev)
+		return
+	}
+	c.installPath(path, target.Loc.Port, dst)
+	// Release the triggering packet along the now-programmed path.
+	first := path[0]
+	var out uint32
+	if len(path) == 1 {
+		out = target.Loc.Port
+	} else {
+		out = c.egressPort(path[0], path[1])
+	}
+	c.sendPacketOut(first, ev.InPort, []openflow.Action{openflow.Output(out)}, ev.Data)
+}
+
+var lldpMulticast = packet.MAC{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}
+
+// floodEntry records one recently flooded frame and where it entered.
+type floodEntry struct {
+	at     time.Time
+	origin PortRef
+}
+
+// isRecentFlood reports whether the frame is one the controller recently
+// flooded, now re-entering from a different port (e.g. over a trunk that
+// is not yet in the topology). A host re-transmitting identical bytes
+// from the original port is NOT suppressed: repeated ARP probes are
+// legitimately byte-identical.
+func (c *Controller) isRecentFlood(ev *PacketInEvent) bool {
+	h := fnv.New64a()
+	h.Write(ev.Data)
+	entry, ok := c.floodCache[h.Sum64()]
+	return ok && c.kernel.Now().Sub(entry.at) < floodCacheWindow && entry.origin != ev.Loc()
+}
+
+// flood delivers a packet out of every access port in the network except
+// the ingress port. Flooding only access ports (never inferred link
+// ports) keeps broadcast delivery loop-free even in cyclic or tampered
+// topologies; a dedup cache suppresses re-floods of the same frame
+// re-entering via another switch.
+func (c *Controller) flood(ev *PacketInEvent) {
+	h := fnv.New64a()
+	h.Write(ev.Data)
+	key := h.Sum64()
+	now := c.kernel.Now()
+	c.floodCache[key] = floodEntry{at: now, origin: ev.Loc()}
+	if len(c.floodCache) > 4096 {
+		for k, entry := range c.floodCache {
+			if now.Sub(entry.at) >= floodCacheWindow {
+				delete(c.floodCache, k)
+			}
+		}
+	}
+
+	linkPorts := c.LinkPorts()
+	origin := ev.Loc()
+	// Sorted iteration keeps runs reproducible: map order would reorder
+	// frame emissions and hence downstream RNG draws.
+	for _, dpid := range c.Switches() {
+		conn := c.conns[dpid]
+		var actions []openflow.Action
+		for _, no := range sortedPorts(conn.ports) {
+			if !conn.ports[no].Up {
+				continue
+			}
+			ref := PortRef{DPID: dpid, Port: no}
+			if ref == origin || linkPorts[ref] {
+				continue
+			}
+			actions = append(actions, openflow.Output(no))
+		}
+		if len(actions) > 0 {
+			c.sendPacketOut(dpid, openflow.PortNone, actions, ev.Data)
+		}
+	}
+}
+
+// shortestPath runs BFS over the directed link topology, returning the
+// switch sequence from src to dst (inclusive).
+func (c *Controller) shortestPath(src, dst uint64) ([]uint64, bool) {
+	if src == dst {
+		return []uint64{src}, true
+	}
+	adj := make(map[uint64][]uint64)
+	for l := range c.links {
+		adj[l.Src.DPID] = append(adj[l.Src.DPID], l.Dst.DPID)
+	}
+	prev := map[uint64]uint64{src: src}
+	queue := []uint64{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				var path []uint64
+				for at := dst; ; at = prev[at] {
+					path = append([]uint64{at}, path...)
+					if at == src {
+						return path, true
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, false
+}
+
+// egressPort finds the local port on switch a that reaches switch b.
+// Among parallel links the earliest-discovered one wins (ties broken by
+// port number), so a later-fabricated parallel link does not displace an
+// established trunk from routing decisions.
+func (c *Controller) egressPort(a, b uint64) uint32 {
+	var best Link
+	found := false
+	for l := range c.links {
+		if l.Src.DPID != a || l.Dst.DPID != b {
+			continue
+		}
+		if !found {
+			best, found = l, true
+			continue
+		}
+		bl, bb := c.linkBorn[l], c.linkBorn[best]
+		if bl.Before(bb) || (bl.Equal(bb) && l.Src.Port < best.Src.Port) {
+			best = l
+		}
+	}
+	return best.Src.Port
+}
+
+// installPath pushes destination-match flow rules along the switch path,
+// ending at the destination host's access port.
+func (c *Controller) installPath(path []uint64, finalPort uint32, dst packet.MAC) {
+	match := openflow.Match{
+		Wildcards: openflow.WildAll &^ openflow.WildEthDst,
+		Fields:    openflow.Fields{EthDst: dst},
+	}
+	for i, dpid := range path {
+		var out uint32
+		if i == len(path)-1 {
+			out = finalPort
+		} else {
+			out = c.egressPort(dpid, path[i+1])
+		}
+		c.sendFlowMod(dpid, &openflow.FlowMod{
+			Command:     openflow.FlowAdd,
+			Match:       match,
+			Priority:    flowPriority,
+			IdleTimeout: flowIdleTimeoutSecs,
+			Actions:     []openflow.Action{openflow.Output(out)},
+		})
+	}
+}
+
+// PathBetweenHosts reports the switch path currently serving traffic from
+// one host MAC to another, for assertions in tests and experiments.
+func (c *Controller) PathBetweenHosts(src, dst packet.MAC) ([]uint64, bool) {
+	s, okS := c.hosts[src]
+	d, okD := c.hosts[dst]
+	if !okS || !okD {
+		return nil, false
+	}
+	return c.shortestPath(s.Loc.DPID, d.Loc.DPID)
+}

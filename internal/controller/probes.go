@@ -1,0 +1,202 @@
+package controller
+
+import (
+	"encoding/binary"
+	"time"
+
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+type pendingEcho struct {
+	sent    time.Time
+	timeout *sim.Event
+	cb      func(time.Duration, bool)
+}
+
+// MeasureEchoRTT measures the raw control-channel round trip using an
+// OpenFlow Echo request/reply pair.
+func (c *Controller) MeasureEchoRTT(dpid uint64, timeout time.Duration, cb func(rtt time.Duration, ok bool)) {
+	conn, ok := c.conns[dpid]
+	if !ok {
+		cb(0, false)
+		return
+	}
+	c.probeNonce++
+	data := make([]byte, 8)
+	binary.BigEndian.PutUint64(data, c.probeNonce)
+	xid := conn.sendMsg(&openflow.EchoRequest{Data: data})
+	p := &pendingEcho{sent: c.kernel.Now(), cb: cb}
+	p.timeout = c.kernel.Schedule(timeout, func() {
+		delete(c.pendingEchoes, xid)
+		cb(0, false)
+	})
+	c.pendingEchoes[xid] = p
+}
+
+func (c *Controller) resolveEcho(xid uint32) {
+	p, ok := c.pendingEchoes[xid]
+	if !ok {
+		return
+	}
+	delete(c.pendingEchoes, xid)
+	p.timeout.Cancel()
+	p.cb(c.kernel.Now().Sub(p.sent), true)
+}
+
+type pendingPathProbe struct {
+	sent    time.Time
+	timeout *sim.Event
+	cb      func(time.Duration, bool)
+}
+
+// MeasureControlRTT implements API using the paper's §VI-D construction:
+// a Packet-Out carrying a marker frame whose action list is a single
+// output-to-controller, so the switch immediately bounces it back as a
+// Packet-In. The elapsed time covers the full control path including the
+// switch's packet-processing pipeline.
+func (c *Controller) MeasureControlRTT(dpid uint64, timeout time.Duration, cb func(rtt time.Duration, ok bool)) {
+	if _, ok := c.conns[dpid]; !ok {
+		cb(0, false)
+		return
+	}
+	c.probeNonce++
+	nonce := c.probeNonce
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, nonce)
+	frame := &packet.Ethernet{
+		Dst:     pathProbeMAC,
+		Src:     pathProbeMAC,
+		Type:    pathProbeEtherType,
+		Payload: payload,
+	}
+	p := &pendingPathProbe{sent: c.kernel.Now(), cb: cb}
+	p.timeout = c.kernel.Schedule(timeout, func() {
+		delete(c.pendingPathProbes, nonce)
+		cb(0, false)
+	})
+	c.pendingPathProbes[nonce] = p
+	c.sendPacketOut(dpid, openflow.PortNone,
+		[]openflow.Action{openflow.OutputController()}, frame.Marshal())
+}
+
+func (c *Controller) resolvePathProbe(eth *packet.Ethernet) {
+	if len(eth.Payload) < 8 {
+		return
+	}
+	nonce := binary.BigEndian.Uint64(eth.Payload[:8])
+	p, ok := c.pendingPathProbes[nonce]
+	if !ok {
+		return
+	}
+	delete(c.pendingPathProbes, nonce)
+	p.timeout.Cancel()
+	p.cb(c.kernel.Now().Sub(p.sent), true)
+}
+
+type pendingHostProbe struct {
+	timeout *sim.Event
+	cb      func(bool)
+}
+
+// ProbeHost implements API: it pings a host identity at a specific switch
+// port from the controller's own addresses. TopoGuard's host-migration
+// post-condition ("the host must be unreachable at its previous location")
+// is built on this.
+func (c *Controller) ProbeHost(loc PortRef, mac packet.MAC, ip packet.IPv4Addr, timeout time.Duration, cb func(alive bool)) {
+	if _, ok := c.conns[loc.DPID]; !ok {
+		cb(false)
+		return
+	}
+	c.icmpID++
+	id := c.icmpID
+	p := &pendingHostProbe{cb: cb}
+	p.timeout = c.kernel.Schedule(timeout, func() {
+		delete(c.pendingHostProbes, id)
+		cb(false)
+	})
+	c.pendingHostProbes[id] = p
+	echo := packet.NewICMPEcho(ControllerMAC, mac, ControllerIP, ip, id, 1, false)
+	c.sendPacketOut(loc.DPID, openflow.PortNone,
+		[]openflow.Action{openflow.Output(loc.Port)}, echo.Marshal())
+}
+
+// resolveHostProbe intercepts ICMP echo replies addressed to the
+// controller's probe identity. It reports true when the event was an
+// internal probe reply (and so must not reach the host/forwarding
+// pipeline).
+func (c *Controller) resolveHostProbe(ev *PacketInEvent) bool {
+	if ev.Eth.Dst != ControllerMAC || ev.Eth.Type != packet.EtherTypeIPv4 {
+		return false
+	}
+	ip, err := packet.UnmarshalIPv4(ev.Eth.Payload)
+	if err != nil || ip.Protocol != packet.ProtoICMP {
+		return true // addressed to the controller; never forward
+	}
+	m, err := packet.UnmarshalICMP(ip.Payload)
+	if err != nil || m.Type != packet.ICMPEchoReply {
+		return true
+	}
+	if p, ok := c.pendingHostProbes[m.ID]; ok {
+		delete(c.pendingHostProbes, m.ID)
+		p.timeout.Cancel()
+		p.cb(true)
+	}
+	return true
+}
+
+type pendingStats struct {
+	flowCB func([]openflow.FlowStats)
+	portCB func([]openflow.PortStats)
+}
+
+// statsWaiters is keyed by xid.
+var _ = pendingStats{}
+
+// RequestFlowStats implements API.
+func (c *Controller) RequestFlowStats(dpid uint64, cb func([]openflow.FlowStats)) {
+	conn, ok := c.conns[dpid]
+	if !ok {
+		cb(nil)
+		return
+	}
+	xid := conn.sendMsg(&openflow.StatsRequest{Kind: openflow.StatsFlow, PortNo: openflow.PortNone})
+	c.statsWaiters()[xid] = pendingStats{flowCB: cb}
+}
+
+// RequestPortStats implements API.
+func (c *Controller) RequestPortStats(dpid uint64, cb func([]openflow.PortStats)) {
+	conn, ok := c.conns[dpid]
+	if !ok {
+		cb(nil)
+		return
+	}
+	xid := conn.sendMsg(&openflow.StatsRequest{Kind: openflow.StatsPort, PortNo: openflow.PortNone})
+	c.statsWaiters()[xid] = pendingStats{portCB: cb}
+}
+
+func (c *Controller) statsWaiters() map[uint32]pendingStats {
+	if c.pendingStats == nil {
+		c.pendingStats = make(map[uint32]pendingStats)
+	}
+	return c.pendingStats
+}
+
+func (c *Controller) resolveStats(xid uint32, reply *openflow.StatsReply) {
+	w, ok := c.statsWaiters()[xid]
+	if !ok {
+		return
+	}
+	delete(c.pendingStats, xid)
+	switch reply.Kind {
+	case openflow.StatsFlow:
+		if w.flowCB != nil {
+			w.flowCB(reply.Flows)
+		}
+	case openflow.StatsPort:
+		if w.portCB != nil {
+			w.portCB(reply.Ports)
+		}
+	}
+}

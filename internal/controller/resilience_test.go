@@ -1,0 +1,166 @@
+package controller_test
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/link"
+	"sdntamper/internal/netsim"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+func TestRuntimePortAddAnnounced(t *testing.T) {
+	n := netsim.New(1)
+	t.Cleanup(n.Shutdown)
+	n.AddSwitch(0x1, nil)
+	n.AddHost("h1", "aa:aa:aa:aa:aa:01", "10.0.0.1", 0x1, 1, sim.Const(time.Millisecond))
+	if err := n.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A host plugged in after boot: without a Port-Status ADD the
+	// controller's flood set would never include its port.
+	late := n.AddHost("late", "aa:aa:aa:aa:aa:02", "10.0.0.2", 0x1, 2, sim.Const(time.Millisecond))
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	n.Host("h1").ARPPing(late.IP(), 500*time.Millisecond, func(r dataplane.ProbeResult) { ok = r.Alive })
+	if err := n.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("broadcast never reached the late-added port")
+	}
+}
+
+// lossyNet builds a two-switch net whose trunk loses the given fraction
+// of frames, under the given controller profile.
+func lossyNet(t *testing.T, seed int64, loss float64, profile controller.Profile) (*netsim.Network, *link.Link) {
+	t.Helper()
+	n := netsim.New(seed, controller.WithProfile(profile))
+	t.Cleanup(n.Shutdown)
+	n.AddSwitch(0x1, nil)
+	n.AddSwitch(0x2, nil)
+	trunk := n.AddTrunk(0x1, 3, 0x2, 3, sim.Const(5*time.Millisecond))
+	trunk.SetLossRate(loss)
+	n.AddHost("h1", "aa:aa:aa:aa:aa:01", "10.0.0.1", 0x1, 1, sim.Const(time.Millisecond))
+	n.AddHost("h2", "aa:aa:aa:aa:aa:02", "10.0.0.2", 0x2, 1, sim.Const(time.Millisecond))
+	return n, trunk
+}
+
+func trunkLinksPresent(n *netsim.Network) bool {
+	fwd := controller.Link{Src: controller.PortRef{DPID: 0x1, Port: 3}, Dst: controller.PortRef{DPID: 0x2, Port: 3}}
+	return n.Controller.HasLink(fwd) && n.Controller.HasLink(fwd.Reverse())
+}
+
+func TestLinkSurvivesModerateLLDPLoss(t *testing.T) {
+	// Section VIII-A's margin: the link timeout exceeds the discovery
+	// interval 2-3x, so isolated lost probes do not flap the topology.
+	// With 20% frame loss, losing BOTH probes of a Floodlight timeout
+	// window (2 rounds) has probability ~0.04^1 per direction per window;
+	// over 3 minutes the trunk should stay up for this seed.
+	n, _ := lossyNet(t, 7, 0.20, controller.Floodlight)
+	// Allow several probe rounds: any single LLDP has a 20% chance of
+	// vanishing, so first discovery may take more than one round.
+	if err := n.Run(50 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !trunkLinksPresent(n) {
+		t.Fatal("trunk not discovered under 20% loss")
+	}
+	flaps := 0
+	for i := 0; i < 12; i++ {
+		if err := n.Run(15 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !trunkLinksPresent(n) {
+			flaps++
+		}
+	}
+	if flaps > 1 {
+		t.Fatalf("trunk flapped %d/12 observations under moderate loss", flaps)
+	}
+}
+
+func TestLinkTimesOutUnderTotalLoss(t *testing.T) {
+	n, trunk := lossyNet(t, 8, 0, controller.Floodlight)
+	if err := n.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !trunkLinksPresent(n) {
+		t.Fatal("precondition: trunk discovered")
+	}
+	// The trunk goes completely dark: after the 35s link timeout the
+	// controller must evict it.
+	trunk.SetLossRate(1.0)
+	if err := n.Run(40 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if trunkLinksPresent(n) {
+		t.Fatal("dead trunk still in topology after link timeout")
+	}
+}
+
+func TestPOXTighterMarginFlapsMoreThanFloodlight(t *testing.T) {
+	// POX's timeout is only 2.0x its interval (one spare probe);
+	// Floodlight's is 2.33x. Under the same heavy loss, POX flaps at
+	// least as often.
+	countFlaps := func(profile controller.Profile, seed int64) int {
+		n, _ := lossyNet(t, seed, 0.45, profile)
+		if err := n.Run(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		flaps := 0
+		for i := 0; i < 40; i++ {
+			if err := n.Run(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if !trunkLinksPresent(n) {
+				flaps++
+			}
+		}
+		return flaps
+	}
+	poxFlaps := countFlaps(controller.POX, 9)
+	if poxFlaps == 0 {
+		t.Skip("no flaps at this seed; loss model too kind")
+	}
+	if poxFlaps < 2 {
+		t.Logf("pox flaps = %d (low, but nonzero as expected)", poxFlaps)
+	}
+}
+
+func TestDataplaneLossDoesNotCorruptControlState(t *testing.T) {
+	n, _ := lossyNet(t, 10, 0.30, controller.Floodlight)
+	if err := n.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	// Repeated pings across a 30%-lossy trunk: some succeed, some fail,
+	// but host bindings stay put and no phantom links appear.
+	succ := 0
+	for i := 0; i < 20; i++ {
+		h1.Ping(h2.MAC(), h2.IP(), 200*time.Millisecond, func(r dataplane.ProbeResult) {
+			if r.Alive {
+				succ++
+			}
+		})
+		if err := n.Run(300 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if succ == 0 || succ == 20 {
+		t.Fatalf("successes = %d/20; loss model not exercised", succ)
+	}
+	e1, ok := n.Controller.HostByMAC(h1.MAC())
+	if !ok || e1.Loc != (controller.PortRef{DPID: 0x1, Port: 1}) {
+		t.Fatalf("h1 binding corrupted: %+v", e1)
+	}
+	if got := len(n.Controller.Links()); got != 2 {
+		t.Fatalf("links = %d, want 2", got)
+	}
+	_ = packet.BroadcastMAC
+}

@@ -1,0 +1,176 @@
+// Package controllertest provides a scriptable fake of controller.API for
+// unit-testing security modules in isolation from the full simulation.
+package controllertest
+
+import (
+	"math/rand"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/lldp"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// FakeAPI implements controller.API with in-memory state the test
+// manipulates directly.
+type FakeAPI struct {
+	Kernel *sim.Kernel
+
+	AlertsRaised []controller.Alert
+	HostTable    map[packet.MAC]controller.HostEntry
+	LinkSet      map[controller.PortRef]bool
+	LinkList     []controller.Link
+	SwitchIDs    []uint64
+	Keys         *lldp.Keychain
+	Prof         controller.Profile
+
+	// ProbeReachable scripts ProbeHost results per location.
+	ProbeReachable map[controller.PortRef]bool
+	// ProbeDelay is the simulated probe round trip.
+	ProbeDelay time.Duration
+	// ControlRTTs scripts MeasureControlRTT per switch.
+	ControlRTTs map[uint64]time.Duration
+	// Restored records RestoreHostLocation calls.
+	Restored []struct {
+		MAC packet.MAC
+		Loc controller.PortRef
+	}
+	// RemovedLinks records RemoveLink calls.
+	RemovedLinks []controller.Link
+	// FlowStatsByDPID scripts RequestFlowStats replies.
+	FlowStatsByDPID map[uint64][]openflow.FlowStats
+	// PortStatsByDPID scripts RequestPortStats replies.
+	PortStatsByDPID map[uint64][]openflow.PortStats
+}
+
+var _ controller.API = (*FakeAPI)(nil)
+
+// New creates a fake with empty state on a fresh kernel.
+func New() *FakeAPI {
+	return &FakeAPI{
+		Kernel:          sim.New(),
+		HostTable:       make(map[packet.MAC]controller.HostEntry),
+		LinkSet:         make(map[controller.PortRef]bool),
+		Prof:            controller.Floodlight,
+		ProbeReachable:  make(map[controller.PortRef]bool),
+		ProbeDelay:      10 * time.Millisecond,
+		ControlRTTs:     make(map[uint64]time.Duration),
+		FlowStatsByDPID: make(map[uint64][]openflow.FlowStats),
+		PortStatsByDPID: make(map[uint64][]openflow.PortStats),
+	}
+}
+
+// Now implements controller.API.
+func (f *FakeAPI) Now() time.Time { return f.Kernel.Now() }
+
+// Schedule implements controller.API.
+func (f *FakeAPI) Schedule(d time.Duration, fn func()) *sim.Event {
+	return f.Kernel.Schedule(d, fn)
+}
+
+// Rand implements controller.API.
+func (f *FakeAPI) Rand() *rand.Rand { return f.Kernel.Rand() }
+
+// RaiseAlert implements controller.API.
+func (f *FakeAPI) RaiseAlert(module, reason, detail string) {
+	f.AlertsRaised = append(f.AlertsRaised, controller.Alert{
+		At: f.Kernel.Now(), Module: module, Reason: reason, Detail: detail,
+	})
+}
+
+// AlertCount counts alerts with the given reason.
+func (f *FakeAPI) AlertCount(reason string) int {
+	n := 0
+	for _, a := range f.AlertsRaised {
+		if a.Reason == reason {
+			n++
+		}
+	}
+	return n
+}
+
+// ProbeHost implements controller.API using the scripted reachability map.
+func (f *FakeAPI) ProbeHost(loc controller.PortRef, mac packet.MAC, ip packet.IPv4Addr, timeout time.Duration, cb func(bool)) {
+	alive := f.ProbeReachable[loc]
+	d := f.ProbeDelay
+	if !alive {
+		d = timeout
+	}
+	f.Kernel.Schedule(d, func() { cb(alive) })
+}
+
+// MeasureControlRTT implements controller.API using scripted RTTs.
+func (f *FakeAPI) MeasureControlRTT(dpid uint64, timeout time.Duration, cb func(time.Duration, bool)) {
+	rtt, ok := f.ControlRTTs[dpid]
+	if !ok {
+		f.Kernel.Schedule(timeout, func() { cb(0, false) })
+		return
+	}
+	f.Kernel.Schedule(rtt, func() { cb(rtt, true) })
+}
+
+// RequestFlowStats implements controller.API.
+func (f *FakeAPI) RequestFlowStats(dpid uint64, cb func([]openflow.FlowStats)) {
+	stats := f.FlowStatsByDPID[dpid]
+	f.Kernel.Schedule(time.Millisecond, func() { cb(stats) })
+}
+
+// RequestPortStats implements controller.API.
+func (f *FakeAPI) RequestPortStats(dpid uint64, cb func([]openflow.PortStats)) {
+	stats := f.PortStatsByDPID[dpid]
+	f.Kernel.Schedule(time.Millisecond, func() { cb(stats) })
+}
+
+// Keychain implements controller.API.
+func (f *FakeAPI) Keychain() *lldp.Keychain { return f.Keys }
+
+// Links implements controller.API.
+func (f *FakeAPI) Links() []controller.Link {
+	out := make([]controller.Link, len(f.LinkList))
+	copy(out, f.LinkList)
+	return out
+}
+
+// LinkPorts implements controller.API.
+func (f *FakeAPI) LinkPorts() map[controller.PortRef]bool {
+	out := make(map[controller.PortRef]bool, len(f.LinkSet))
+	for k, v := range f.LinkSet {
+		out[k] = v
+	}
+	return out
+}
+
+// HostByMAC implements controller.API.
+func (f *FakeAPI) HostByMAC(mac packet.MAC) (controller.HostEntry, bool) {
+	e, ok := f.HostTable[mac]
+	return e, ok
+}
+
+// RestoreHostLocation implements controller.API.
+func (f *FakeAPI) RestoreHostLocation(mac packet.MAC, loc controller.PortRef) {
+	f.Restored = append(f.Restored, struct {
+		MAC packet.MAC
+		Loc controller.PortRef
+	}{mac, loc})
+	if e, ok := f.HostTable[mac]; ok {
+		e.Loc = loc
+		f.HostTable[mac] = e
+	}
+}
+
+// RemoveLink implements controller.API.
+func (f *FakeAPI) RemoveLink(l controller.Link) {
+	f.RemovedLinks = append(f.RemovedLinks, l)
+}
+
+// Profile implements controller.API.
+func (f *FakeAPI) Profile() controller.Profile { return f.Prof }
+
+// Switches implements controller.API.
+func (f *FakeAPI) Switches() []uint64 {
+	out := make([]uint64, len(f.SwitchIDs))
+	copy(out, f.SwitchIDs)
+	return out
+}

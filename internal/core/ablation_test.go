@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLLIAblationMultiplierTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	rows, err := RunLLIAblation(50, []float64{1.5, 3}, []int{100}, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var tight, paper LLIAblationRow
+	for _, r := range rows {
+		switch r.IQRMultiplier {
+		case 1.5:
+			tight = r
+		case 3:
+			paper = r
+		}
+	}
+	if !tight.Detected || !paper.Detected {
+		t.Fatalf("both configurations must catch the 20ms OOB link: %+v", rows)
+	}
+	// The tighter fence tends to produce more false positives. The runs
+	// are not sample-paired (flagged samples alter each run's window
+	// evolution), so allow small-count noise.
+	if tight.FalsePositives+3 < paper.FalsePositives {
+		t.Fatalf("k=1.5 FPs (%d) far below k=3 FPs (%d)", tight.FalsePositives, paper.FalsePositives)
+	}
+	// Section VIII-A: even with false positives, benign links survive
+	// because the link timeout exceeds the probe interval 2-3x.
+	if !paper.BenignLinksIntact {
+		t.Fatal("paper configuration lost a benign trunk")
+	}
+	if paper.BenignSamples == 0 {
+		t.Fatal("no benign measurements recorded")
+	}
+}
+
+func TestControlAveragingReducesVariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	rows, err := RunControlAveragingAblation(51, []int{1, 9}, 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	one, nine := rows[0], rows[1]
+	if one.ControlSamples != 1 || nine.ControlSamples != 9 {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.LatencyMean < 3*time.Millisecond || r.LatencyMean > 8*time.Millisecond {
+			t.Fatalf("depth %d: mean %v implausible", r.ControlSamples, r.LatencyMean)
+		}
+	}
+	// Deeper averaging must not materially increase estimator spread.
+	if nine.LatencyStd > one.LatencyStd+time.Millisecond {
+		t.Fatalf("9-sample averaging noisier than 1-sample: %v vs %v", nine.LatencyStd, one.LatencyStd)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunsAreReproducible guards the repository's core promise: identical
+// seeds produce identical runs. (Map-ordered iteration in the controller
+// once broke this by reordering RNG draws.)
+func TestRunsAreReproducible(t *testing.T) {
+	run := func() []Fig11Point {
+		res, err := RunFig11(99, 2*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Points
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at sample %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHijackRunsReproducible(t *testing.T) {
+	run := func() []TimelineEvent {
+		events, err := RunFig3Timeline(77, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Offset != b[i].Offset {
+			t.Fatalf("timelines diverged at %d: %v vs %v", i, a[i].Offset, b[i].Offset)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestInducedMigrationHijack(t *testing.T) {
+	res, err := RunInducedMigration(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigrationStartedAt.Before(res.LoadRaisedAt) {
+		t.Fatal("victim migrated before the resource DoS began")
+	}
+	// The balancer needs its hysteresis (3 checks at 5s): induction is
+	// not instantaneous.
+	if lead := res.MigrationStartedAt.Sub(res.LoadRaisedAt); lead < 10e9 {
+		t.Fatalf("migration after only %v; hysteresis bypassed", lead)
+	}
+	if !res.HijackWon {
+		t.Fatalf("hijack lost the induced window: %+v", res)
+	}
+	if res.AlertsDuringWindow != 0 {
+		t.Fatalf("alerts during the undetected phase: %d", res.AlertsDuringWindow)
+	}
+	if res.AlertsAfterReturn == 0 {
+		t.Fatal("victim's return raised no alerts")
+	}
+	if res.Downtime <= 0 || res.VictimReturnedAt.IsZero() {
+		t.Fatalf("migration window malformed: %+v", res)
+	}
+}

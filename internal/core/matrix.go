@@ -1,0 +1,285 @@
+package core
+
+import (
+	"time"
+
+	"sdntamper/internal/attack"
+	"sdntamper/internal/controller"
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sphinx"
+	"sdntamper/internal/tgplus"
+	"sdntamper/internal/topoguard"
+)
+
+// Verdict summarizes one attack-versus-defense cell.
+type Verdict string
+
+// Verdicts.
+const (
+	// Undetected: the attack achieved its goal and no relevant alert fired.
+	Undetected Verdict = "undetected"
+	// Detected: an alert fired (the attack may or may not have been blocked).
+	Detected Verdict = "detected"
+	// Blocked: an alert fired and the tampering was kept out of controller state.
+	Blocked Verdict = "blocked"
+	// Failed: the attack did not achieve its goal for another reason.
+	Failed Verdict = "failed"
+)
+
+// MatrixRow is one attack evaluated against the three defense stacks.
+type MatrixRow struct {
+	Attack      string
+	VsTopoGuard Verdict
+	VsSphinx    Verdict
+	VsTGPlus    Verdict
+}
+
+// RunAttackMatrix reproduces the paper's headline result as a matrix:
+// each attack is executed against TopoGuard, SPHINX and TOPOGUARD+
+// (TopoGuard + CMM + LLI) in fresh scenarios, and each cell reports
+// whether the attack succeeded undetected.
+func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
+	type cell func(def Defenses, s int64) (Verdict, error)
+	run3 := func(name string, fn cell, s int64) (MatrixRow, error) {
+		row := MatrixRow{Attack: name}
+		var err error
+		if row.VsTopoGuard, err = fn(TopoGuardOnly(), s); err != nil {
+			return row, err
+		}
+		if row.VsSphinx, err = fn(SphinxOnly(), s+1); err != nil {
+			return row, err
+		}
+		if row.VsTGPlus, err = fn(TopoGuardPlus(), s+2); err != nil {
+			return row, err
+		}
+		return row, nil
+	}
+
+	var rows []MatrixRow
+	specs := []struct {
+		name string
+		fn   cell
+	}{
+		{"naive link fabrication (LLDP relay)", runFabricationCell(false)},
+		{"OOB port amnesia + link fabrication", runFabricationCell(true)},
+		{"in-band port amnesia + link fabrication", runInBandCell},
+		{"naive host hijack (victim online)", runNaiveHijackCell},
+		{"port probing + host hijack (victim in transit)", runPortProbingCell},
+	}
+	for i, spec := range specs {
+		row, err := run3(spec.name, spec.fn, seed+int64(i)*101)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// fabricationAlertReasons are the alert codes that count as detecting a
+// link fabrication attempt.
+var fabricationAlertReasons = []string{
+	topoguard.ReasonLLDPFromHost,
+	topoguard.ReasonFirstHopFromSwitch,
+	sphinx.ReasonLinkChanged,
+	tgplus.ReasonControlMessage,
+	tgplus.ReasonAbnormalDelay,
+}
+
+func anyAlert(s *Scenario, reasons []string) bool {
+	for _, r := range reasons {
+		if len(s.Controller().AlertsByReason(r)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func fabricationVerdict(s *Scenario, fabricated bool) Verdict {
+	alerted := anyAlert(s, fabricationAlertReasons)
+	switch {
+	case fabricated && !alerted:
+		return Undetected
+	case fabricated && alerted:
+		return Detected
+	case alerted:
+		return Blocked
+	default:
+		return Failed
+	}
+}
+
+func runFabricationCell(useAmnesia bool) func(Defenses, int64) (Verdict, error) {
+	return func(def Defenses, seed int64) (Verdict, error) {
+		s := NewFig9Testbed(seed, def)
+		defer s.Close()
+		if err := s.Run(2 * time.Second); err != nil {
+			return Failed, err
+		}
+		// Attacker ports start HOST-profiled, as in Figure 1.
+		s.Net.Host(HostAttackerA).ARPPing(s.Net.Host(HostClient).IP(), 300*time.Millisecond, func(dataplane.ProbeResult) {})
+		s.Net.Host(HostAttackerB).ARPPing(s.Net.Host(HostServer).IP(), 300*time.Millisecond, func(dataplane.ProbeResult) {})
+		if err := s.Run(2 * time.Second); err != nil {
+			return Failed, err
+		}
+		if def.LLI {
+			// Give the LLI its calibration period, as the paper does.
+			if err := s.Run(60 * time.Second); err != nil {
+				return Failed, err
+			}
+		}
+		fab := attack.NewOOBFabrication(s.Net.Kernel,
+			s.Net.Host(HostAttackerA), s.Net.Host(HostAttackerB), s.OOB,
+			attack.FabricationConfig{UseAmnesia: useAmnesia})
+		fab.Start()
+		if err := s.Run(40 * time.Second); err != nil {
+			return Failed, err
+		}
+		fabricated := s.Controller().HasLink(FabricatedLinkFig9()) ||
+			s.Controller().HasLink(FabricatedLinkFig9().Reverse())
+		return fabricationVerdict(s, fabricated), nil
+	}
+}
+
+func runInBandCell(def Defenses, seed int64) (Verdict, error) {
+	s := NewFig9Testbed(seed, def)
+	defer s.Close()
+	rec := &linkSeen{want: FabricatedLinkFig9()}
+	s.Controller().Register(rec)
+	if err := s.Run(2 * time.Second); err != nil {
+		return Failed, err
+	}
+	if def.LLI {
+		if err := s.Run(60 * time.Second); err != nil {
+			return Failed, err
+		}
+	}
+	fab := attack.NewInBandFabrication(s.Net.Kernel,
+		s.Net.Host(HostAttackerA), s.Net.Host(HostAttackerB), 0)
+	fab.Start()
+	if err := s.Run(50 * time.Second); err != nil {
+		return Failed, err
+	}
+	return fabricationVerdict(s, rec.count > 0), nil
+}
+
+// hijackAlertReasons are the alert codes that count as detecting a host
+// location hijack.
+var hijackAlertReasons = []string{
+	topoguard.ReasonMigrationPre,
+	topoguard.ReasonMigrationPost,
+	sphinx.ReasonMultiBinding,
+	sphinx.ReasonIPMACConflict,
+}
+
+func runNaiveHijackCell(def Defenses, seed int64) (Verdict, error) {
+	s := NewFig2Scenario(seed, def)
+	defer s.Close()
+	if err := seedFig2Bindings(s); err != nil {
+		return Failed, err
+	}
+	victim := s.Net.Host(HostVictim)
+	attacker := s.Net.Host(HostAttackerA)
+	victimMAC := victim.MAC()
+	// With the victim still online, a committed hijack immediately starts
+	// oscillating (the victim's own traffic moves the binding back), so
+	// record whether the binding EVER landed on the attacker's port.
+	rec := &moveSeen{mac: victimMAC, loc: AttackerLocFig2()}
+	s.Controller().Register(rec)
+	attack.NaiveHijack(s.Net.Kernel, attacker, victimMAC, victim.IP())
+	if err := s.Run(3 * time.Second); err != nil {
+		return Failed, err
+	}
+	hijacked := rec.count > 0
+	alerted := anyAlert(s, hijackAlertReasons)
+	switch {
+	case hijacked && !alerted:
+		return Undetected, nil
+	case hijacked && alerted:
+		return Detected, nil
+	case alerted:
+		return Blocked, nil
+	default:
+		// With no defense deployed the hijack would land; reaching here
+		// without an alert means something silently prevented it.
+		return Failed, nil
+	}
+}
+
+func runPortProbingCell(def Defenses, seed int64) (Verdict, error) {
+	s := NewFig2Scenario(seed, def)
+	defer s.Close()
+	if err := seedFig2Bindings(s); err != nil {
+		return Failed, err
+	}
+	victim := s.Net.Host(HostVictim)
+	attacker := s.Net.Host(HostAttackerA)
+
+	cfg := attack.DefaultHijackConfig(AttackerLocFig2())
+	cfg.ToolOverhead = nil
+	hj := attack.NewHijack(s.Net.Kernel, attacker, victim.IP(), cfg)
+	s.Controller().Register(hj)
+	completed := false
+	hj.Start(func(attack.Timeline) { completed = true })
+	if err := s.Run(3 * time.Second); err != nil {
+		return Failed, err
+	}
+	victim.InterfaceDown()
+	if err := s.Run(10 * time.Second); err != nil {
+		return Failed, err
+	}
+	alerted := anyAlert(s, hijackAlertReasons)
+	switch {
+	case completed && !alerted:
+		return Undetected, nil
+	case completed && alerted:
+		return Detected, nil
+	case alerted:
+		return Blocked, nil
+	default:
+		return Failed, nil
+	}
+}
+
+func seedFig2Bindings(s *Scenario) error {
+	if err := s.Run(2 * time.Second); err != nil {
+		return err
+	}
+	client := s.Net.Host(HostClient)
+	victim := s.Net.Host(HostVictim)
+	attacker := s.Net.Host(HostAttackerA)
+	client.ARPPing(victim.IP(), time.Second, func(dataplane.ProbeResult) {})
+	attacker.ARPPing(client.IP(), time.Second, func(dataplane.ProbeResult) {})
+	return s.Run(3 * time.Second)
+}
+
+// moveSeen counts committed host-move events binding one MAC to one port.
+type moveSeen struct {
+	mac   packet.MAC
+	loc   controller.PortRef
+	count int
+}
+
+func (r *moveSeen) ModuleName() string { return "experiment/move-seen" }
+
+func (r *moveSeen) ObserveHostMove(ev *controller.HostMoveEvent) {
+	if ev.MAC == r.mac && ev.New == r.loc {
+		r.count++
+	}
+}
+
+// linkSeen counts accepted updates of one link (used for the flappy
+// in-band fabrication, where the link may not be present at sampling time).
+type linkSeen struct {
+	want  controller.Link
+	count int
+}
+
+func (r *linkSeen) ModuleName() string { return "experiment/link-seen" }
+
+func (r *linkSeen) ObserveLink(ev *controller.LinkEvent) {
+	if ev.Link == r.want || ev.Link == r.want.Reverse() {
+		r.count++
+	}
+}

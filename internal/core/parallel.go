@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunHijackDistributionsParallel is RunHijackDistributions spread across
+// worker goroutines: each attack run owns a private simulation kernel, so
+// runs are embarrassingly parallel and results (keyed by per-run seeds)
+// are identical to the sequential version regardless of scheduling.
+func RunHijackDistributionsParallel(seed int64, runs int, withToolOverhead bool, workers int) (*HijackDistributions, error) {
+	if runs <= 0 {
+		runs = 100
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+
+	type outcome struct {
+		run     *hijackRun
+		timeout time.Duration
+		err     error
+	}
+	results := make([]outcome, runs)
+	jobs := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run, timeout, err := runOneHijack(seed+int64(i)*7919, withToolOverhead)
+				results[i] = outcome{run: run, timeout: timeout, err: err}
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Merge in run order so the aggregate series are deterministic.
+	out := &HijackDistributions{}
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, r.err)
+		}
+		if r.run == nil {
+			out.Failed++
+			continue
+		}
+		down := r.run.victimDown
+		out.LastPingStart.Add(r.run.timeline.LastPingStart.Sub(down))
+		out.KnownOffline.Add(r.run.timeline.KnownOffline.Sub(down))
+		out.AttackerUp.Add(r.run.timeline.IdentityChanged.Sub(down))
+		out.ControllerAck.Add(r.run.timeline.ControllerAck.Sub(down))
+		out.IdentityChange.Add(r.run.timeline.IdentityChangeTook)
+		out.ProbeTimeouts.Add(r.timeout)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := RunHijackDistributions(81, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunHijackDistributionsParallel(81, 12, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Failed != par.Failed {
+		t.Fatalf("failed counts differ: %d vs %d", seq.Failed, par.Failed)
+	}
+	if seq.AttackerUp.N() != par.AttackerUp.N() {
+		t.Fatalf("sample counts differ: %d vs %d", seq.AttackerUp.N(), par.AttackerUp.N())
+	}
+	// Per-run kernels are private and seeded identically, so the merged
+	// series must be identical sample for sample.
+	a, b := seq.AttackerUp.Samples(), par.AttackerUp.Samples()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if seq.ControllerAck.Mean() != par.ControllerAck.Mean() {
+		t.Fatal("aggregate means differ")
+	}
+}
+
+func TestParallelWorkerClamping(t *testing.T) {
+	d, err := RunHijackDistributionsParallel(82, 3, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AttackerUp.N()+d.Failed != 3 {
+		t.Fatalf("runs accounted = %d", d.AttackerUp.N()+d.Failed)
+	}
+	if _, err := RunHijackDistributionsParallel(83, 4, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = time.Second
+}

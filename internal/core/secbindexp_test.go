@@ -1,0 +1,13 @@
+package core
+
+import "testing"
+
+func TestPortProbingBlockedByIdentifierBinding(t *testing.T) {
+	v, err := RunPortProbingWithIdentifierBinding(111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Blocked {
+		t.Fatalf("verdict = %s, want blocked", v)
+	}
+}

@@ -1,0 +1,314 @@
+package dataplane
+
+import (
+	"fmt"
+	"time"
+
+	"sdntamper/internal/link"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/sim"
+)
+
+// Link-pulse timing. IEEE 802.3 twisted-pair Ethernet defines a link
+// integrity pulse of 16 +/- 8 ms; a transceiver silent for that interval
+// is declared disconnected. The paper's in-band port amnesia attack waits
+// out this interval to force a Port-Down (Section V-A).
+const (
+	// LinkPulseNominal is the nominal down-detection delay.
+	LinkPulseNominal = 16 * time.Millisecond
+	// LinkPulseJitter is the spec's tolerance around the nominal delay.
+	LinkPulseJitter = 8 * time.Millisecond
+	// linkUpDetect is how quickly a restored carrier is noticed (first
+	// received pulse).
+	linkUpDetect = 1 * time.Millisecond
+)
+
+// expiryCheckInterval is how often the switch sweeps for timed-out flows.
+const expiryCheckInterval = time.Second
+
+// Port is one switch dataplane port.
+type Port struct {
+	sw  *Switch
+	no  uint32
+	ep  *link.Endpoint
+	up  bool // switch's post-detection view of link state
+	det sim.Sampler
+
+	pendingDown *sim.Event
+	pendingUp   *sim.Event
+
+	rxPackets uint64
+	txPackets uint64
+	rxBytes   uint64
+	txBytes   uint64
+}
+
+var _ link.Attachment = (*Port)(nil)
+
+// No reports the port number.
+func (p *Port) No() uint32 { return p.no }
+
+// Up reports the switch's view of link state.
+func (p *Port) Up() bool { return p.up }
+
+// ReceiveFrame implements link.Attachment.
+func (p *Port) ReceiveFrame(data []byte) {
+	if !p.up {
+		return
+	}
+	p.rxPackets++
+	p.rxBytes += uint64(len(data))
+	p.sw.handleFrame(p, data)
+}
+
+// CarrierChange implements link.Attachment: it runs the 802.3 link-pulse
+// state machine. A carrier loss only becomes a Port-Down if it persists
+// for the sampled pulse-detection interval; a loss cured faster than the
+// interval is invisible to the switch (and hence to the controller), which
+// is exactly the threshold the in-band attack must respect.
+func (p *Port) CarrierChange(up bool) {
+	if up {
+		if p.pendingDown != nil {
+			// Carrier restored before detection: nothing ever happened.
+			p.pendingDown.Cancel()
+			p.pendingDown = nil
+			return
+		}
+		if !p.up && p.pendingUp == nil {
+			p.pendingUp = p.sw.kernel.Schedule(linkUpDetect, func() {
+				p.pendingUp = nil
+				p.up = true
+				p.sw.sendPortStatus(p, openflow.PortReasonModify)
+			})
+		}
+		return
+	}
+	if p.pendingUp != nil {
+		p.pendingUp.Cancel()
+		p.pendingUp = nil
+	}
+	if p.up && p.pendingDown == nil {
+		p.pendingDown = p.sw.kernel.Schedule(p.det.Sample(p.sw.kernel.Rand()), func() {
+			p.pendingDown = nil
+			p.up = false
+			p.sw.sendPortStatus(p, openflow.PortReasonModify)
+		})
+	}
+}
+
+func (p *Port) send(data []byte) {
+	if !p.up {
+		return
+	}
+	p.txPackets++
+	p.txBytes += uint64(len(data))
+	p.ep.Send(data)
+}
+
+// Switch is an OpenFlow switch: ports, a flow table, and a control
+// connection to the controller.
+type Switch struct {
+	kernel *sim.Kernel
+	dpid   uint64
+	ports  map[uint32]*Port
+	order  []uint32 // stable port iteration order
+	table  FlowTable
+	xid    uint32
+
+	sendControl func([]byte)
+	handshook   bool
+	expiry      *sim.Ticker
+}
+
+// SwitchOption configures a Switch.
+type SwitchOption func(*Switch)
+
+// NewSwitch creates a switch with the given datapath id. Connect ports
+// with AddPort and the controller with SetControlSender /HandleControl.
+func NewSwitch(kernel *sim.Kernel, dpid uint64, opts ...SwitchOption) *Switch {
+	s := &Switch{
+		kernel: kernel,
+		dpid:   dpid,
+		ports:  make(map[uint32]*Port),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.expiry = kernel.NewTicker(expiryCheckInterval, func() {
+		s.table.Expire(kernel.Now())
+	})
+	return s
+}
+
+// Shutdown stops the switch's background flow-expiry ticker.
+func (s *Switch) Shutdown() { s.expiry.Stop() }
+
+// DPID reports the datapath id.
+func (s *Switch) DPID() uint64 { return s.dpid }
+
+// Table exposes the flow table for inspection by tests and defenses that
+// model switch-local sensors.
+func (s *Switch) Table() *FlowTable { return &s.table }
+
+// AddPort creates port number no attached to one end of l. The detection
+// sampler governs 802.3 link-pulse down-detection latency; nil means the
+// nominal constant 16 ms.
+func (s *Switch) AddPort(no uint32, l *link.Link, end link.End, detect sim.Sampler) *Port {
+	if detect == nil {
+		detect = sim.Const(LinkPulseNominal)
+	}
+	p := &Port{sw: s, no: no, up: true, det: detect}
+	p.ep = link.NewEndpoint(l, end, p)
+	s.ports[no] = p
+	s.order = append(s.order, no)
+	// A port plugged in after the control handshake is announced, so the
+	// controller's port inventory (and thus its flood set and LLDP
+	// probing) includes it; ports present at handshake time ride in the
+	// FeaturesReply instead.
+	if s.handshook {
+		s.sendPortStatus(p, openflow.PortReasonAdd)
+	}
+	return p
+}
+
+// Port returns the port with the given number, or nil.
+func (s *Switch) Port(no uint32) *Port { return s.ports[no] }
+
+// SetControlSender wires the switch's upstream control-plane transmit
+// function (typically a link.Channel end).
+func (s *Switch) SetControlSender(fn func([]byte)) { s.sendControl = fn }
+
+func (s *Switch) toController(m openflow.Message) {
+	if s.sendControl == nil {
+		return
+	}
+	s.xid++
+	s.sendControl(openflow.Marshal(s.xid, m))
+}
+
+func (s *Switch) sendPortStatus(p *Port, reason uint8) {
+	s.toController(&openflow.PortStatus{
+		Reason: reason,
+		Desc:   openflow.PortDesc{No: p.no, Name: fmt.Sprintf("s%d-eth%d", s.dpid, p.no), Up: p.up},
+	})
+}
+
+// handleFrame processes a dataplane frame arriving on port in.
+func (s *Switch) handleFrame(in *Port, data []byte) {
+	fields := openflow.ExtractFields(in.no, data)
+	entry := s.table.Lookup(fields)
+	if entry == nil {
+		s.toController(&openflow.PacketIn{
+			BufferID: openflow.NoBuffer,
+			InPort:   in.no,
+			Reason:   openflow.ReasonNoMatch,
+			Data:     data,
+		})
+		return
+	}
+	entry.Hit(len(data), s.kernel.Now())
+	s.execute(entry.Actions, in.no, data)
+}
+
+// execute runs an action list on a frame that entered via inPort (or
+// openflow.PortNone for controller-originated packets).
+func (s *Switch) execute(actions []openflow.Action, inPort uint32, data []byte) {
+	for _, a := range actions {
+		switch a.Port {
+		case openflow.PortController:
+			s.toController(&openflow.PacketIn{
+				BufferID: openflow.NoBuffer,
+				InPort:   inPort,
+				Reason:   openflow.ReasonAction,
+				Data:     data,
+			})
+		case openflow.PortFlood:
+			for _, no := range s.order {
+				if no != inPort {
+					s.ports[no].send(data)
+				}
+			}
+		case openflow.PortAll:
+			for _, no := range s.order {
+				s.ports[no].send(data)
+			}
+		case openflow.PortInPort:
+			if p := s.ports[inPort]; p != nil {
+				p.send(data)
+			}
+		default:
+			if p := s.ports[a.Port]; p != nil {
+				p.send(data)
+			}
+		}
+	}
+}
+
+// HandleControl processes one OpenFlow message arriving from the
+// controller. Malformed messages are dropped, as a real agent drops
+// undecodable control traffic.
+func (s *Switch) HandleControl(data []byte) {
+	xid, m, err := openflow.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	switch msg := m.(type) {
+	case *openflow.Hello:
+		s.toController(&openflow.Hello{})
+	case *openflow.FeaturesRequest:
+		s.handshook = true
+		s.toController(s.featuresReply())
+	case *openflow.EchoRequest:
+		if s.sendControl != nil {
+			s.sendControl(openflow.Marshal(xid, &openflow.EchoReply{Data: msg.Data}))
+		}
+	case *openflow.PacketOut:
+		s.execute(msg.Actions, msg.InPort, msg.Data)
+	case *openflow.FlowMod:
+		s.table.Apply(msg, s.kernel.Now())
+	case *openflow.BarrierRequest:
+		if s.sendControl != nil {
+			s.sendControl(openflow.Marshal(xid, &openflow.BarrierReply{}))
+		}
+	case *openflow.StatsRequest:
+		if s.sendControl != nil {
+			s.sendControl(openflow.Marshal(xid, s.statsReply(msg)))
+		}
+	}
+}
+
+func (s *Switch) featuresReply() *openflow.FeaturesReply {
+	reply := &openflow.FeaturesReply{DatapathID: s.dpid}
+	for _, no := range s.order {
+		p := s.ports[no]
+		reply.Ports = append(reply.Ports, openflow.PortDesc{
+			No:   p.no,
+			Name: fmt.Sprintf("s%d-eth%d", s.dpid, p.no),
+			Up:   p.up,
+		})
+	}
+	return reply
+}
+
+func (s *Switch) statsReply(req *openflow.StatsRequest) *openflow.StatsReply {
+	reply := &openflow.StatsReply{Kind: req.Kind}
+	switch req.Kind {
+	case openflow.StatsFlow:
+		reply.Flows = s.table.Stats(s.kernel.Now())
+	case openflow.StatsPort:
+		for _, no := range s.order {
+			if req.PortNo != openflow.PortNone && req.PortNo != no {
+				continue
+			}
+			p := s.ports[no]
+			reply.Ports = append(reply.Ports, openflow.PortStats{
+				PortNo:    p.no,
+				RxPackets: p.rxPackets,
+				TxPackets: p.txPackets,
+				RxBytes:   p.rxBytes,
+				TxBytes:   p.txBytes,
+			})
+		}
+	}
+	return reply
+}

@@ -1,0 +1,172 @@
+// Package dataplane models the data plane of the simulated SDN: OpenFlow
+// switches (flow tables, counters, the 802.3 link-pulse port state machine
+// that gates Port-Status generation) and end hosts (ARP/ICMP/TCP responder
+// behaviour, interface manipulation with empirical ifconfig latencies).
+package dataplane
+
+import (
+	"sort"
+	"time"
+
+	"sdntamper/internal/openflow"
+)
+
+// FlowEntry is one installed flow rule with its counters.
+type FlowEntry struct {
+	Match       openflow.Match
+	Priority    uint16
+	Actions     []openflow.Action
+	IdleTimeout time.Duration // 0 = never idle-expires
+	HardTimeout time.Duration // 0 = never hard-expires
+
+	packets  uint64
+	bytes    uint64
+	created  time.Time
+	lastUsed time.Time
+}
+
+// Packets reports how many packets matched the entry.
+func (e *FlowEntry) Packets() uint64 { return e.packets }
+
+// Bytes reports how many bytes matched the entry.
+func (e *FlowEntry) Bytes() uint64 { return e.bytes }
+
+// FlowTable is a priority-ordered flow rule table. Higher priority wins;
+// among equal priorities, the earlier-installed rule wins, matching
+// OpenFlow's undefined-order caveat resolved the way software switches do.
+type FlowTable struct {
+	entries []*FlowEntry
+}
+
+// Len reports the number of installed entries.
+func (t *FlowTable) Len() int { return len(t.entries) }
+
+// Entries returns the entries in match order. The returned slice is a
+// copy; the entries themselves are shared.
+func (t *FlowTable) Entries() []*FlowEntry {
+	out := make([]*FlowEntry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// Lookup returns the highest-priority entry matching the tuple, or nil.
+func (t *FlowTable) Lookup(f openflow.Fields) *FlowEntry {
+	for _, e := range t.entries {
+		if e.Match.Matches(f) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Apply executes a FlowMod against the table at virtual time now.
+func (t *FlowTable) Apply(m *openflow.FlowMod, now time.Time) {
+	switch m.Command {
+	case openflow.FlowAdd:
+		e := &FlowEntry{
+			Match:       m.Match,
+			Priority:    m.Priority,
+			Actions:     append([]openflow.Action(nil), m.Actions...),
+			IdleTimeout: time.Duration(m.IdleTimeout) * time.Second,
+			HardTimeout: time.Duration(m.HardTimeout) * time.Second,
+			created:     now,
+			lastUsed:    now,
+		}
+		// Replace an identical (match, priority) entry, as OFPFF_ADD does.
+		for i, old := range t.entries {
+			if old.Priority == e.Priority && old.Match == e.Match {
+				t.entries[i] = e
+				return
+			}
+		}
+		t.entries = append(t.entries, e)
+		sort.SliceStable(t.entries, func(i, j int) bool {
+			return t.entries[i].Priority > t.entries[j].Priority
+		})
+	case openflow.FlowModify:
+		for _, e := range t.entries {
+			if e.Match == m.Match && e.Priority == m.Priority {
+				e.Actions = append([]openflow.Action(nil), m.Actions...)
+			}
+		}
+	case openflow.FlowDelete:
+		kept := t.entries[:0]
+		for _, e := range t.entries {
+			if !matchSubsumes(m.Match, e.Match) {
+				kept = append(kept, e)
+			}
+		}
+		t.entries = kept
+	}
+}
+
+// matchSubsumes reports whether deletion pattern a covers entry match b:
+// every field a constrains must be constrained to the same value in b.
+func matchSubsumes(a, b openflow.Match) bool {
+	if a.Wildcards.Has(openflow.WildAll) {
+		return true
+	}
+	// A field concrete in a must be concrete and equal in b.
+	type field struct {
+		wild  openflow.Wildcards
+		equal bool
+	}
+	fields := []field{
+		{openflow.WildInPort, a.Fields.InPort == b.Fields.InPort},
+		{openflow.WildEthSrc, a.Fields.EthSrc == b.Fields.EthSrc},
+		{openflow.WildEthDst, a.Fields.EthDst == b.Fields.EthDst},
+		{openflow.WildEthType, a.Fields.EthType == b.Fields.EthType},
+		{openflow.WildIPSrc, a.Fields.IPSrc == b.Fields.IPSrc},
+		{openflow.WildIPDst, a.Fields.IPDst == b.Fields.IPDst},
+		{openflow.WildIPProto, a.Fields.IPProto == b.Fields.IPProto},
+		{openflow.WildTPSrc, a.Fields.TPSrc == b.Fields.TPSrc},
+		{openflow.WildTPDst, a.Fields.TPDst == b.Fields.TPDst},
+	}
+	for _, f := range fields {
+		if !a.Wildcards.Has(f.wild) {
+			if b.Wildcards.Has(f.wild) || !f.equal {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Hit records a packet matching the entry.
+func (e *FlowEntry) Hit(bytes int, now time.Time) {
+	e.packets++
+	e.bytes += uint64(bytes)
+	e.lastUsed = now
+}
+
+// Expire removes and returns entries whose idle or hard timeout elapsed.
+func (t *FlowTable) Expire(now time.Time) []*FlowEntry {
+	var expired []*FlowEntry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		idleDead := e.IdleTimeout > 0 && now.Sub(e.lastUsed) >= e.IdleTimeout
+		hardDead := e.HardTimeout > 0 && now.Sub(e.created) >= e.HardTimeout
+		if idleDead || hardDead {
+			expired = append(expired, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return expired
+}
+
+// Stats snapshots the table's counters for a flow-stats reply.
+func (t *FlowTable) Stats(now time.Time) []openflow.FlowStats {
+	out := make([]openflow.FlowStats, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, openflow.FlowStats{
+			Match:    e.Match,
+			Priority: e.Priority,
+			Packets:  e.packets,
+			Bytes:    e.bytes,
+			Duration: now.Sub(e.created),
+		})
+	}
+	return out
+}

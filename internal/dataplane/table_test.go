@@ -1,0 +1,178 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+)
+
+func addFlow(t *FlowTable, match openflow.Match, prio uint16, idle, hard uint16, now time.Time, actions ...openflow.Action) {
+	t.Apply(&openflow.FlowMod{
+		Command:     openflow.FlowAdd,
+		Match:       match,
+		Priority:    prio,
+		IdleTimeout: idle,
+		HardTimeout: hard,
+		Actions:     actions,
+	}, now)
+}
+
+func dstMatch(mac string) openflow.Match {
+	return openflow.Match{
+		Wildcards: openflow.WildAll &^ openflow.WildEthDst,
+		Fields:    openflow.Fields{EthDst: packet.MustMAC(mac)},
+	}
+}
+
+func TestTableLookupPriority(t *testing.T) {
+	var tbl FlowTable
+	now := time.Unix(0, 0)
+	addFlow(&tbl, openflow.MatchAll(), 1, 0, 0, now, openflow.Output(1))
+	addFlow(&tbl, dstMatch("aa:aa:aa:aa:aa:aa"), 100, 0, 0, now, openflow.Output(2))
+
+	hit := tbl.Lookup(openflow.Fields{EthDst: packet.MustMAC("aa:aa:aa:aa:aa:aa")})
+	if hit == nil || hit.Actions[0].Port != 2 {
+		t.Fatalf("high-priority rule not preferred: %+v", hit)
+	}
+	miss := tbl.Lookup(openflow.Fields{EthDst: packet.MustMAC("cc:cc:cc:cc:cc:cc")})
+	if miss == nil || miss.Actions[0].Port != 1 {
+		t.Fatalf("fallback rule not hit: %+v", miss)
+	}
+}
+
+func TestTableEqualPriorityFirstInstalledWins(t *testing.T) {
+	var tbl FlowTable
+	now := time.Unix(0, 0)
+	addFlow(&tbl, dstMatch("aa:aa:aa:aa:aa:aa"), 10, 0, 0, now, openflow.Output(1))
+	addFlow(&tbl, openflow.MatchAll(), 10, 0, 0, now, openflow.Output(2))
+	hit := tbl.Lookup(openflow.Fields{EthDst: packet.MustMAC("aa:aa:aa:aa:aa:aa")})
+	if hit.Actions[0].Port != 1 {
+		t.Fatalf("expected first-installed rule, got port %d", hit.Actions[0].Port)
+	}
+}
+
+func TestTableAddReplacesIdenticalMatch(t *testing.T) {
+	var tbl FlowTable
+	now := time.Unix(0, 0)
+	m := dstMatch("aa:aa:aa:aa:aa:aa")
+	addFlow(&tbl, m, 10, 0, 0, now, openflow.Output(1))
+	addFlow(&tbl, m, 10, 0, 0, now, openflow.Output(9))
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tbl.Len())
+	}
+	hit := tbl.Lookup(openflow.Fields{EthDst: packet.MustMAC("aa:aa:aa:aa:aa:aa")})
+	if hit.Actions[0].Port != 9 {
+		t.Fatalf("replacement not applied: %+v", hit)
+	}
+}
+
+func TestTableModify(t *testing.T) {
+	var tbl FlowTable
+	now := time.Unix(0, 0)
+	m := dstMatch("aa:aa:aa:aa:aa:aa")
+	addFlow(&tbl, m, 10, 0, 0, now, openflow.Output(1))
+	tbl.Apply(&openflow.FlowMod{Command: openflow.FlowModify, Match: m, Priority: 10, Actions: []openflow.Action{openflow.Output(5)}}, now)
+	hit := tbl.Lookup(openflow.Fields{EthDst: packet.MustMAC("aa:aa:aa:aa:aa:aa")})
+	if hit.Actions[0].Port != 5 {
+		t.Fatalf("modify not applied: %+v", hit)
+	}
+}
+
+func TestTableDeleteSubsumption(t *testing.T) {
+	var tbl FlowTable
+	now := time.Unix(0, 0)
+	addFlow(&tbl, dstMatch("aa:aa:aa:aa:aa:aa"), 10, 0, 0, now, openflow.Output(1))
+	addFlow(&tbl, dstMatch("bb:bb:bb:bb:bb:bb"), 10, 0, 0, now, openflow.Output(2))
+	// Delete with wildcard-all removes everything.
+	tbl.Apply(&openflow.FlowMod{Command: openflow.FlowDelete, Match: openflow.MatchAll()}, now)
+	if tbl.Len() != 0 {
+		t.Fatalf("len after delete-all = %d", tbl.Len())
+	}
+}
+
+func TestTableDeleteSpecific(t *testing.T) {
+	var tbl FlowTable
+	now := time.Unix(0, 0)
+	addFlow(&tbl, dstMatch("aa:aa:aa:aa:aa:aa"), 10, 0, 0, now, openflow.Output(1))
+	addFlow(&tbl, dstMatch("bb:bb:bb:bb:bb:bb"), 10, 0, 0, now, openflow.Output(2))
+	tbl.Apply(&openflow.FlowMod{Command: openflow.FlowDelete, Match: dstMatch("aa:aa:aa:aa:aa:aa")}, now)
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tbl.Len())
+	}
+	if tbl.Entries()[0].Actions[0].Port != 2 {
+		t.Fatal("wrong entry deleted")
+	}
+}
+
+func TestTableDeleteDoesNotRemoveBroaderEntries(t *testing.T) {
+	var tbl FlowTable
+	now := time.Unix(0, 0)
+	addFlow(&tbl, openflow.MatchAll(), 1, 0, 0, now, openflow.Output(1))
+	// Deleting a specific dst must not remove the catch-all entry, which
+	// is broader than the delete pattern.
+	tbl.Apply(&openflow.FlowMod{Command: openflow.FlowDelete, Match: dstMatch("aa:aa:aa:aa:aa:aa")}, now)
+	if tbl.Len() != 1 {
+		t.Fatalf("broader entry removed; len = %d", tbl.Len())
+	}
+}
+
+func TestTableIdleExpiry(t *testing.T) {
+	var tbl FlowTable
+	t0 := time.Unix(0, 0)
+	addFlow(&tbl, openflow.MatchAll(), 1, 5, 0, t0, openflow.Output(1))
+	if exp := tbl.Expire(t0.Add(4 * time.Second)); len(exp) != 0 {
+		t.Fatal("expired too early")
+	}
+	// A hit refreshes the idle timer.
+	tbl.Entries()[0].Hit(100, t0.Add(4*time.Second))
+	if exp := tbl.Expire(t0.Add(8 * time.Second)); len(exp) != 0 {
+		t.Fatal("hit did not refresh idle timeout")
+	}
+	if exp := tbl.Expire(t0.Add(10 * time.Second)); len(exp) != 1 {
+		t.Fatal("idle entry not expired")
+	}
+	if tbl.Len() != 0 {
+		t.Fatal("expired entry still present")
+	}
+}
+
+func TestTableHardExpiry(t *testing.T) {
+	var tbl FlowTable
+	t0 := time.Unix(0, 0)
+	addFlow(&tbl, openflow.MatchAll(), 1, 0, 10, t0, openflow.Output(1))
+	tbl.Entries()[0].Hit(1, t0.Add(9*time.Second)) // hits don't extend hard timeout
+	if exp := tbl.Expire(t0.Add(10 * time.Second)); len(exp) != 1 {
+		t.Fatal("hard timeout not enforced")
+	}
+}
+
+func TestTableCounters(t *testing.T) {
+	var tbl FlowTable
+	t0 := time.Unix(0, 0)
+	addFlow(&tbl, openflow.MatchAll(), 1, 0, 0, t0, openflow.Output(1))
+	e := tbl.Entries()[0]
+	e.Hit(100, t0)
+	e.Hit(50, t0.Add(time.Second))
+	if e.Packets() != 2 || e.Bytes() != 150 {
+		t.Fatalf("counters = %d pkts / %d bytes", e.Packets(), e.Bytes())
+	}
+	stats := tbl.Stats(t0.Add(2 * time.Second))
+	if len(stats) != 1 || stats[0].Packets != 2 || stats[0].Bytes != 150 || stats[0].Duration != 2*time.Second {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestMatchSubsumesProperties(t *testing.T) {
+	exact := openflow.ExactMatch(openflow.Fields{InPort: 1, EthType: 0x0800})
+	if !matchSubsumes(openflow.MatchAll(), exact) {
+		t.Fatal("wildcard-all should subsume everything")
+	}
+	if matchSubsumes(exact, openflow.MatchAll()) {
+		t.Fatal("exact must not subsume wildcard-all")
+	}
+	if !matchSubsumes(exact, exact) {
+		t.Fatal("subsumption must be reflexive")
+	}
+}

@@ -1,0 +1,207 @@
+// Package hypervisor models automatic live migration driven by resource
+// pressure (the VMware-DRS-style behaviour Section IV-B points at): a
+// physical machine hosts several VMs, and when aggregate load stays above
+// a threshold, the hypervisor live-migrates the heaviest migratable VM,
+// taking it off the network for a seconds-scale downtime window.
+//
+// The paper notes that "a more sophisticated attacker may induce such
+// movement": co-locate with the target and saturate shared resources
+// (cache dirtying, heavy disk I/O) until the victim is moved — thereby
+// opening the very window the port-probing attack needs. This package
+// makes that attack variant runnable end to end.
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sdntamper/internal/sim"
+)
+
+// DefaultDowntime models live-migration downtime: Xen and VMware have
+// "consistently been shown to produce downtime windows on the order of
+// seconds" (§IV-B2).
+func DefaultDowntime() sim.Sampler {
+	return sim.Normal{Mean: 2 * time.Second, Std: 500 * time.Millisecond, Min: 500 * time.Millisecond}
+}
+
+// ErrUnknownVM reports an operation on an unregistered VM.
+var ErrUnknownVM = errors.New("hypervisor: unknown vm")
+
+// VM is one guest's resource profile.
+type VM struct {
+	Name string
+	// Load is the VM's current share of the shared resource (0..1).
+	Load float64
+	// Migratable marks whether the balancer may move this VM. Attackers
+	// arrange to be non-migratable (e.g. local passthrough devices).
+	Migratable bool
+	// migrating blocks re-selection while a migration is in flight.
+	migrating bool
+}
+
+// Migration describes one balancer decision in flight.
+type Migration struct {
+	VM       string
+	Started  time.Time
+	Downtime time.Duration
+}
+
+// Config tunes the balancer.
+type Config struct {
+	// Threshold is the aggregate load above which rebalancing triggers.
+	Threshold float64
+	// SustainChecks is how many consecutive over-threshold observations
+	// are required (hysteresis against transient spikes).
+	SustainChecks int
+	// CheckInterval is the balancer's sampling period.
+	CheckInterval time.Duration
+	// Downtime samples the network outage of one live migration.
+	Downtime sim.Sampler
+}
+
+// DefaultConfig returns a DRS-flavored configuration.
+func DefaultConfig() Config {
+	return Config{
+		Threshold:     0.8,
+		SustainChecks: 3,
+		CheckInterval: 5 * time.Second,
+		Downtime:      DefaultDowntime(),
+	}
+}
+
+// Callbacks connect a migration to the network simulation: Down fires
+// when the VM's NIC drops at the old location; Up fires when the VM is
+// expected to resume at its destination (the caller re-attaches it).
+type Callbacks struct {
+	Down func(vm string)
+	Up   func(vm string, downtime time.Duration)
+}
+
+// Hypervisor is the balancer for one physical machine.
+type Hypervisor struct {
+	kernel *sim.Kernel
+	cfg    Config
+	cbs    Callbacks
+
+	vms        map[string]*VM
+	over       int
+	ticker     *sim.Ticker
+	migrations []Migration
+}
+
+// New creates a hypervisor and starts its balancing loop.
+func New(kernel *sim.Kernel, cfg Config, cbs Callbacks) *Hypervisor {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.8
+	}
+	if cfg.SustainChecks <= 0 {
+		cfg.SustainChecks = 3
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 5 * time.Second
+	}
+	if cfg.Downtime == nil {
+		cfg.Downtime = DefaultDowntime()
+	}
+	h := &Hypervisor{kernel: kernel, cfg: cfg, cbs: cbs, vms: make(map[string]*VM)}
+	h.ticker = kernel.NewTicker(cfg.CheckInterval, h.check)
+	return h
+}
+
+// Shutdown stops the balancing loop.
+func (h *Hypervisor) Shutdown() { h.ticker.Stop() }
+
+// AddVM registers a guest.
+func (h *Hypervisor) AddVM(name string, load float64, migratable bool) {
+	h.vms[name] = &VM{Name: name, Load: load, Migratable: migratable}
+}
+
+// SetLoad updates a guest's resource consumption. The induced-migration
+// attack is exactly a co-located guest calling this with a high value.
+func (h *Hypervisor) SetLoad(name string, load float64) error {
+	vm, ok := h.vms[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVM, name)
+	}
+	if load < 0 {
+		load = 0
+	}
+	vm.Load = load
+	return nil
+}
+
+// AggregateLoad reports the machine's current total load.
+func (h *Hypervisor) AggregateLoad() float64 {
+	total := 0.0
+	for _, vm := range h.vms {
+		total += vm.Load
+	}
+	return total
+}
+
+// Migrations snapshots the balancer's decisions so far.
+func (h *Hypervisor) Migrations() []Migration {
+	out := make([]Migration, len(h.migrations))
+	copy(out, h.migrations)
+	return out
+}
+
+// check is one balancer observation.
+func (h *Hypervisor) check() {
+	if h.AggregateLoad() <= h.cfg.Threshold {
+		h.over = 0
+		return
+	}
+	h.over++
+	if h.over < h.cfg.SustainChecks {
+		return
+	}
+	h.over = 0
+	victim := h.pickVictim()
+	if victim == nil {
+		return
+	}
+	h.migrate(victim)
+}
+
+// pickVictim chooses the heaviest migratable guest not already moving —
+// moving the largest contributor rebalances fastest, which is exactly
+// the heuristic the attacker exploits by staying non-migratable itself.
+func (h *Hypervisor) pickVictim() *VM {
+	names := make([]string, 0, len(h.vms))
+	for name := range h.vms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var best *VM
+	for _, name := range names {
+		vm := h.vms[name]
+		if !vm.Migratable || vm.migrating {
+			continue
+		}
+		if best == nil || vm.Load > best.Load {
+			best = vm
+		}
+	}
+	return best
+}
+
+func (h *Hypervisor) migrate(vm *VM) {
+	vm.migrating = true
+	downtime := h.cfg.Downtime.Sample(h.kernel.Rand())
+	h.migrations = append(h.migrations, Migration{VM: vm.Name, Started: h.kernel.Now(), Downtime: downtime})
+	if h.cbs.Down != nil {
+		h.cbs.Down(vm.Name)
+	}
+	name := vm.Name
+	h.kernel.Schedule(downtime, func() {
+		// The guest's load moves away with it.
+		delete(h.vms, name)
+		if h.cbs.Up != nil {
+			h.cbs.Up(name, downtime)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package hypervisor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sdntamper/internal/sim"
+)
+
+func newHV(t *testing.T, cfg Config) (*Hypervisor, *sim.Kernel, *[]string, *[]string) {
+	t.Helper()
+	k := sim.New()
+	var downs, ups []string
+	h := New(k, cfg, Callbacks{
+		Down: func(vm string) { downs = append(downs, vm) },
+		Up:   func(vm string, _ time.Duration) { ups = append(ups, vm) },
+	})
+	t.Cleanup(h.Shutdown)
+	return h, k, &downs, &ups
+}
+
+func TestNoMigrationBelowThreshold(t *testing.T) {
+	h, k, downs, _ := newHV(t, DefaultConfig())
+	h.AddVM("victim", 0.4, true)
+	h.AddVM("other", 0.3, true)
+	if err := k.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(*downs) != 0 {
+		t.Fatalf("migrations below threshold: %v", *downs)
+	}
+}
+
+func TestSustainedOverloadMigratesHeaviestMigratable(t *testing.T) {
+	h, k, downs, ups := newHV(t, DefaultConfig())
+	h.AddVM("victim", 0.5, true)
+	h.AddVM("small", 0.1, true)
+	h.AddVM("attacker", 0.1, false)
+	if err := k.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The co-located attacker saturates the shared resource.
+	if err := h.SetLoad("attacker", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(*downs) == 0 {
+		t.Fatal("overload never triggered a migration")
+	}
+	if (*downs)[0] != "victim" {
+		t.Fatalf("migrated %q, want the heaviest migratable VM", (*downs)[0])
+	}
+	if len(*ups) == 0 || (*ups)[0] != "victim" {
+		t.Fatalf("victim never came back up: %v", *ups)
+	}
+	migs := h.Migrations()
+	if len(migs) == 0 || migs[0].VM != "victim" {
+		t.Fatalf("migrations = %+v", migs)
+	}
+	if migs[0].Downtime < 500*time.Millisecond || migs[0].Downtime > 5*time.Second {
+		t.Fatalf("downtime %v outside the seconds-scale window", migs[0].Downtime)
+	}
+}
+
+func TestTransientSpikeToleratedByHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	h, k, downs, _ := newHV(t, cfg)
+	h.AddVM("victim", 0.5, true)
+	h.AddVM("attacker", 0.1, false)
+	if err := k.RunFor(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Spike for one check interval only.
+	if err := h.SetLoad("attacker", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetLoad("attacker", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(*downs) != 0 {
+		t.Fatalf("transient spike caused a migration: %v", *downs)
+	}
+}
+
+func TestNonMigratableNeverPicked(t *testing.T) {
+	h, k, downs, _ := newHV(t, DefaultConfig())
+	h.AddVM("pinned", 0.9, false)
+	if err := k.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(*downs) != 0 {
+		t.Fatalf("pinned VM migrated: %v", *downs)
+	}
+}
+
+func TestSetLoadUnknownVM(t *testing.T) {
+	h, _, _, _ := newHV(t, DefaultConfig())
+	if err := h.SetLoad("ghost", 1); !errors.Is(err, ErrUnknownVM) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMigratedVMLoadLeavesTheMachine(t *testing.T) {
+	h, k, _, ups := newHV(t, DefaultConfig())
+	h.AddVM("victim", 0.6, true)
+	h.AddVM("attacker", 0.5, false)
+	if err := k.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(*ups) != 1 {
+		t.Fatalf("migrations = %v", *ups)
+	}
+	if got := h.AggregateLoad(); got != 0.5 {
+		t.Fatalf("post-migration load = %v, want the attacker's 0.5 only", got)
+	}
+	// Load is now under threshold: no further migrations.
+	if err := k.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(*ups) != 1 {
+		t.Fatal("balancer kept migrating after rebalance")
+	}
+}

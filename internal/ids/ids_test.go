@@ -1,0 +1,172 @@
+package ids
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+func synFrame(srcIP string, dstPort uint16) []byte {
+	return packet.NewTCPSegment(
+		packet.MustMAC("aa:aa:aa:aa:aa:aa"), packet.MustMAC("bb:bb:bb:bb:bb:bb"),
+		packet.MustIPv4(srcIP), packet.MustIPv4("10.0.0.2"),
+		40000, dstPort, packet.TCPSyn, 1, 0, nil).Marshal()
+}
+
+func icmpFrame(srcIP string, seq uint16) []byte {
+	return packet.NewICMPEcho(
+		packet.MustMAC("aa:aa:aa:aa:aa:aa"), packet.MustMAC("bb:bb:bb:bb:bb:bb"),
+		packet.MustIPv4(srcIP), packet.MustIPv4("10.0.0.2"), 1, seq, false).Marshal()
+}
+
+func arpFrame(srcIP string) []byte {
+	return packet.NewARPRequest(packet.MustMAC("aa:aa:aa:aa:aa:aa"),
+		packet.MustIPv4(srcIP), packet.MustIPv4("10.0.0.2")).Marshal()
+}
+
+// feedAtRate injects n frames at the given inter-frame spacing.
+func feedAtRate(k *sim.Kernel, s *Sensor, frames func(i int) []byte, n int, spacing time.Duration) {
+	for i := 0; i < n; i++ {
+		i := i
+		k.Schedule(time.Duration(i)*spacing, func() { s.Inspect(frames(i)) })
+	}
+}
+
+func TestSYNScanAboveTwoPerSecondDetected(t *testing.T) {
+	k := sim.New()
+	s := NewSensor(k)
+	// 4 SYNs/second for 3 seconds: well above the 2/s ET threshold.
+	feedAtRate(k, s, func(i int) []byte { return synFrame("10.0.0.9", uint16(i)) }, 12, 250*time.Millisecond)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.AlertsByRule("ET SCAN Suspicious inbound SYN") == 0 {
+		t.Fatal("4 SYN/s scan undetected")
+	}
+}
+
+func TestSYNScanAtOrBelowTwoPerSecondUndetected(t *testing.T) {
+	k := sim.New()
+	s := NewSensor(k)
+	// 2 SYNs/second: at the boundary, not above it.
+	feedAtRate(k, s, func(i int) []byte { return synFrame("10.0.0.9", uint16(i)) }, 10, 500*time.Millisecond)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.AlertsByRule("ET SCAN Suspicious inbound SYN"); n != 0 {
+		t.Fatalf("2 SYN/s scan raised %d alerts", n)
+	}
+}
+
+func TestSYNScanPerSourceTracking(t *testing.T) {
+	k := sim.New()
+	s := NewSensor(k)
+	// Two sources each at 2/s: neither crosses the per-source threshold
+	// even though the aggregate is 4/s.
+	feedAtRate(k, s, func(i int) []byte {
+		src := "10.0.0.8"
+		if i%2 == 1 {
+			src = "10.0.0.9"
+		}
+		return synFrame(src, uint16(i))
+	}, 12, 250*time.Millisecond)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.AlertsByRule("ET SCAN Suspicious inbound SYN"); n != 0 {
+		t.Fatalf("per-source tracking failed: %d alerts", n)
+	}
+}
+
+func TestSYNAckNotCountedAsScan(t *testing.T) {
+	k := sim.New()
+	s := NewSensor(k)
+	synAck := packet.NewTCPSegment(
+		packet.MustMAC("aa:aa:aa:aa:aa:aa"), packet.MustMAC("bb:bb:bb:bb:bb:bb"),
+		packet.MustIPv4("10.0.0.9"), packet.MustIPv4("10.0.0.2"),
+		80, 40000, packet.TCPSyn|packet.TCPAck, 1, 1, nil).Marshal()
+	for i := 0; i < 20; i++ {
+		s.Inspect(synAck)
+	}
+	if len(s.Alerts()) != 0 {
+		t.Fatal("SYN-ACK handshake replies misread as scanning")
+	}
+}
+
+func TestPingSweepDetected(t *testing.T) {
+	k := sim.New()
+	s := NewSensor(k)
+	feedAtRate(k, s, func(i int) []byte { return icmpFrame("10.0.0.9", uint16(i)) }, 10, 100*time.Millisecond)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.AlertsByRule("ET SCAN ICMP ping sweep") == 0 {
+		t.Fatal("10/s ping sweep undetected")
+	}
+}
+
+func TestARPScanUndetectedAtPaperRate(t *testing.T) {
+	// The paper's chosen probe: ARP every 50 ms (20/s). Default rules see
+	// nothing — there is no ARP rule to fire.
+	k := sim.New()
+	s := NewSensor(k)
+	if s.DetectsARPScans() {
+		t.Fatal("default ruleset should not inspect ARP")
+	}
+	feedAtRate(k, s, func(int) []byte { return arpFrame("10.0.0.9") }, 100, 50*time.Millisecond)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Alerts()); n != 0 {
+		t.Fatalf("ARP probes raised %d alerts with the standard ruleset", n)
+	}
+	if s.Frames() != 100 {
+		t.Fatalf("frames inspected = %d", s.Frames())
+	}
+}
+
+func TestExperimentalARPRuleWouldCatchIt(t *testing.T) {
+	k := sim.New()
+	s := NewSensor(k, NewExperimentalARPRule(5, time.Second))
+	if !s.DetectsARPScans() {
+		t.Fatal("experimental rule not recognized")
+	}
+	feedAtRate(k, s, func(int) []byte { return arpFrame("10.0.0.9") }, 100, 50*time.Millisecond)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.AlertsByRule("EXPERIMENTAL ARP request rate") == 0 {
+		t.Fatal("experimental ARP rule failed to fire at 20/s")
+	}
+}
+
+func TestSlidingWindowForgets(t *testing.T) {
+	k := sim.New()
+	s := NewSensor(k)
+	// Two bursts of 2 SYNs, 5 seconds apart: each burst alone is at the
+	// threshold; the window must not accumulate across bursts.
+	burst := func(at time.Duration) {
+		k.Schedule(at, func() { s.Inspect(synFrame("10.0.0.9", 1)) })
+		k.Schedule(at+10*time.Millisecond, func() { s.Inspect(synFrame("10.0.0.9", 2)) })
+	}
+	burst(0)
+	burst(5 * time.Second)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Alerts()) != 0 {
+		t.Fatal("window did not slide")
+	}
+}
+
+func TestGarbageFramesIgnored(t *testing.T) {
+	k := sim.New()
+	s := NewSensor(k)
+	s.Inspect([]byte{1, 2, 3})
+	s.Inspect(nil)
+	if len(s.Alerts()) != 0 || s.Frames() != 2 {
+		t.Fatal("garbage handling wrong")
+	}
+}

@@ -1,0 +1,227 @@
+// Package link models the physical connectivity of the simulated network:
+// point-to-point dataplane links with per-direction latency samplers and
+// carrier (link-pulse) signaling, control-channel connections between
+// switches and the controller, and free-form out-of-band channels such as
+// the 802.11 side link the paper's colluding hosts use.
+package link
+
+import (
+	"time"
+
+	"sdntamper/internal/sim"
+)
+
+// Attachment is anything that terminates a dataplane link: a switch port
+// or a host NIC.
+type Attachment interface {
+	// ReceiveFrame delivers a raw Ethernet frame that finished traversing
+	// the link. It is never called while the peer's carrier is down at
+	// send time.
+	ReceiveFrame(data []byte)
+	// CarrierChange signals that the peer's transceiver went up or down.
+	// The physical signal loss is instantaneous; any detection latency
+	// (e.g. 802.3 link-pulse timing) is applied by the receiver.
+	CarrierChange(up bool)
+}
+
+// End selects one side of a Link.
+type End int
+
+// Link ends.
+const (
+	EndA End = iota + 1
+	EndB
+)
+
+func (e End) other() End {
+	if e == EndA {
+		return EndB
+	}
+	return EndA
+}
+
+// Link is a full-duplex point-to-point dataplane link.
+type Link struct {
+	kernel   *sim.Kernel
+	latency  sim.Sampler
+	lossRate float64
+	a, b     Attachment
+	upA      bool
+	upB      bool
+	dropped  uint64
+}
+
+// NewLink creates a link whose per-frame one-way delay is drawn from
+// latency. Both ends start with carrier up once attached.
+func NewLink(kernel *sim.Kernel, latency sim.Sampler) *Link {
+	if latency == nil {
+		latency = sim.Const(0)
+	}
+	return &Link{kernel: kernel, latency: latency, upA: true, upB: true}
+}
+
+// Attach connects an attachment to one end of the link.
+func (l *Link) Attach(end End, att Attachment) {
+	if end == EndA {
+		l.a = att
+	} else {
+		l.b = att
+	}
+}
+
+func (l *Link) peer(end End) Attachment {
+	if end == EndA {
+		return l.b
+	}
+	return l.a
+}
+
+func (l *Link) carrier(end End) bool {
+	if end == EndA {
+		return l.upA
+	}
+	return l.upB
+}
+
+// CarrierUp reports whether the transceiver on the given end is up.
+func (l *Link) CarrierUp(end End) bool { return l.carrier(end) }
+
+// SetLossRate sets an independent per-frame drop probability, for
+// failure-injection experiments (e.g. how many consecutive lost LLDP
+// probes a link survives given Table III's timeout margins).
+func (l *Link) SetLossRate(p float64) {
+	switch {
+	case p < 0:
+		l.lossRate = 0
+	case p > 1:
+		l.lossRate = 1
+	default:
+		l.lossRate = p
+	}
+}
+
+// Dropped reports frames lost to injected loss.
+func (l *Link) Dropped() uint64 { return l.dropped }
+
+// Send transmits a frame from the given end. The frame is delivered to
+// the peer after the link's sampled latency. Frames are dropped (as on a
+// real wire) if either transceiver is down at send time, if the
+// receiving side's transceiver is down at delivery time, or by injected
+// random loss.
+func (l *Link) Send(from End, data []byte) {
+	if !l.upA || !l.upB {
+		return
+	}
+	if l.lossRate > 0 && l.kernel.Rand().Float64() < l.lossRate {
+		l.dropped++
+		return
+	}
+	peerEnd := from.other()
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	l.kernel.Schedule(l.latency.Sample(l.kernel.Rand()), func() {
+		if peer := l.peer(from); peer != nil && l.carrier(peerEnd) && l.carrier(from) {
+			peer.ReceiveFrame(buf)
+		}
+	})
+}
+
+// SetCarrier raises or lowers the transceiver on one end (a host bringing
+// its interface down, a cable unplugged). The peer attachment is notified
+// immediately; modeling of detection latency is the peer's concern.
+func (l *Link) SetCarrier(end End, up bool) {
+	if end == EndA {
+		if l.upA == up {
+			return
+		}
+		l.upA = up
+	} else {
+		if l.upB == up {
+			return
+		}
+		l.upB = up
+	}
+	if peer := l.peer(end); peer != nil {
+		peer.CarrierChange(up)
+	}
+}
+
+// Endpoint binds a link and an end into a single handle, so components
+// hold one value rather than a (link, end) pair.
+type Endpoint struct {
+	link *Link
+	end  End
+}
+
+// NewEndpoint attaches att to the given end and returns its handle.
+func NewEndpoint(l *Link, end End, att Attachment) *Endpoint {
+	l.Attach(end, att)
+	return &Endpoint{link: l, end: end}
+}
+
+// Send transmits a frame toward the peer.
+func (e *Endpoint) Send(data []byte) { e.link.Send(e.end, data) }
+
+// SetCarrier raises or lowers this side's transceiver.
+func (e *Endpoint) SetCarrier(up bool) { e.link.SetCarrier(e.end, up) }
+
+// CarrierUp reports this side's transceiver state.
+func (e *Endpoint) CarrierUp() bool { return e.link.CarrierUp(e.end) }
+
+// PeerCarrierUp reports the peer transceiver state.
+func (e *Endpoint) PeerCarrierUp() bool { return e.link.CarrierUp(e.end.other()) }
+
+// Channel is a generic unidirectional-pair message pipe with latency, used
+// for controller-switch control connections and for attacker out-of-band
+// side channels. Unlike Link it has no carrier semantics.
+type Channel struct {
+	kernel  *sim.Kernel
+	latency sim.Sampler
+	onA     func([]byte)
+	onB     func([]byte)
+}
+
+// NewChannel creates a bidirectional message pipe with the given one-way
+// latency distribution.
+func NewChannel(kernel *sim.Kernel, latency sim.Sampler) *Channel {
+	if latency == nil {
+		latency = sim.Const(0)
+	}
+	return &Channel{kernel: kernel, latency: latency}
+}
+
+// OnReceive registers the message handler for one end.
+func (c *Channel) OnReceive(end End, fn func([]byte)) {
+	if end == EndA {
+		c.onA = fn
+	} else {
+		c.onB = fn
+	}
+}
+
+// Send delivers a message to the other end after the channel latency.
+// Messages sent before the receiving handler is registered are dropped.
+func (c *Channel) Send(from End, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.kernel.Schedule(c.latency.Sample(c.kernel.Rand()), func() {
+		var fn func([]byte)
+		if from == EndA {
+			fn = c.onB
+		} else {
+			fn = c.onA
+		}
+		if fn != nil {
+			fn(buf)
+		}
+	})
+}
+
+// SendAfter behaves like Send with an extra fixed delay prepended, used to
+// model processing time at the sender (e.g. 802.11 encode/decode on an
+// out-of-band relay).
+func (c *Channel) SendAfter(from End, extra time.Duration, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.kernel.Schedule(extra, func() { c.Send(from, buf) })
+}

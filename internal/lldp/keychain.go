@@ -1,0 +1,101 @@
+package lldp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Timestamp/auth errors callers may match.
+var (
+	ErrBadAuth      = errors.New("lldp: HMAC verification failed")
+	ErrBadTimestamp = errors.New("lldp: timestamp TLV undecryptable")
+)
+
+// Keychain holds the controller-owned secrets used to authenticate LLDP
+// frames and to seal departure timestamps. End hosts (and therefore
+// attackers) never hold a Keychain; they can only replay TLVs byte-for-byte,
+// which is exactly the capability the paper's relay attacks assume.
+type Keychain struct {
+	hmacKey []byte
+	gcm     cipher.AEAD
+	nonce   uint64 // monotonic nonce counter for deterministic sealing
+}
+
+// NewKeychain derives HMAC and AES-GCM keys from a secret. The secret may
+// be any length; it is stretched through SHA-256.
+func NewKeychain(secret []byte) (*Keychain, error) {
+	sum := sha256.Sum256(secret)
+	block, err := aes.NewCipher(sum[:])
+	if err != nil {
+		return nil, fmt.Errorf("lldp: derive AES key: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("lldp: init GCM: %w", err)
+	}
+	mac := sha256.Sum256(append([]byte("hmac:"), secret...))
+	return &Keychain{hmacKey: mac[:], gcm: gcm}, nil
+}
+
+func authInput(f *Frame) []byte {
+	buf := make([]byte, 12, 12+len(f.Timestamp))
+	binary.BigEndian.PutUint64(buf[:8], f.ChassisID)
+	binary.BigEndian.PutUint32(buf[8:12], f.PortID)
+	return append(buf, f.Timestamp...)
+}
+
+// Sign computes and attaches the HMAC TLV. It must be called after the
+// timestamp TLV (if any) is attached, since the signature covers it.
+func (k *Keychain) Sign(f *Frame) {
+	h := hmac.New(sha256.New, k.hmacKey)
+	h.Write(authInput(f))
+	f.Auth = h.Sum(nil)
+}
+
+// Verify checks the frame's HMAC TLV. It returns ErrBadAuth for a missing
+// or non-matching signature.
+func (k *Keychain) Verify(f *Frame) error {
+	if len(f.Auth) == 0 {
+		return fmt.Errorf("%w: no auth TLV", ErrBadAuth)
+	}
+	h := hmac.New(sha256.New, k.hmacKey)
+	h.Write(authInput(f))
+	if !hmac.Equal(h.Sum(nil), f.Auth) {
+		return ErrBadAuth
+	}
+	return nil
+}
+
+// SealTimestamp encrypts a departure time into TLV ciphertext. Nonces are
+// drawn from a monotonic per-keychain counter, which keeps simulation runs
+// deterministic while never reusing a nonce under one key.
+func (k *Keychain) SealTimestamp(t time.Time) []byte {
+	nonce := make([]byte, k.gcm.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], k.nonce)
+	k.nonce++
+	plain := make([]byte, 8)
+	binary.BigEndian.PutUint64(plain, uint64(t.UnixNano()))
+	return append(nonce, k.gcm.Seal(nil, nonce, plain, nil)...)
+}
+
+// OpenTimestamp decrypts TLV ciphertext back into the departure time.
+func (k *Keychain) OpenTimestamp(ct []byte) (time.Time, error) {
+	ns := k.gcm.NonceSize()
+	if len(ct) < ns {
+		return time.Time{}, fmt.Errorf("%w: short ciphertext", ErrBadTimestamp)
+	}
+	plain, err := k.gcm.Open(nil, ct[:ns], ct[ns:], nil)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%w: %v", ErrBadTimestamp, err)
+	}
+	if len(plain) != 8 {
+		return time.Time{}, fmt.Errorf("%w: bad plaintext length %d", ErrBadTimestamp, len(plain))
+	}
+	return time.Unix(0, int64(binary.BigEndian.Uint64(plain))), nil
+}

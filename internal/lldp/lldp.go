@@ -1,0 +1,172 @@
+// Package lldp implements the Link Layer Discovery Protocol frames used by
+// SDN link discovery, including the two controller-private extensions the
+// paper relies on:
+//
+//   - an HMAC authentication TLV (TopoGuard: "authenticated LLDP packets are
+//     digitally signed by the controller, preventing forgery or corruption");
+//   - an AES-GCM-encrypted departure-timestamp TLV (TopoGuard+'s Link
+//     Latency Inspector, Section VI-D).
+//
+// Both extensions are carried as IEEE organizationally-specific TLVs.
+package lldp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sdntamper/internal/packet"
+)
+
+// MulticastMAC is the nearest-bridge LLDP destination address.
+var MulticastMAC = packet.MAC{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}
+
+// TLV type codes.
+const (
+	tlvEnd         = 0
+	tlvChassisID   = 1
+	tlvPortID      = 2
+	tlvTTL         = 3
+	tlvOrgSpecific = 127
+)
+
+// Organizationally-specific subtypes under our private OUI.
+const (
+	orgSubtypeAuth      = 1
+	orgSubtypeTimestamp = 2
+)
+
+// oui is the private organizational identifier for controller TLVs.
+var oui = [3]byte{0xaa, 0xbb, 0xcc}
+
+// Decode errors.
+var (
+	ErrMalformed = errors.New("lldp: malformed frame")
+	ErrNotLLDP   = errors.New("lldp: not an LLDP ethertype")
+)
+
+// Frame is a parsed LLDP packet as emitted by the controller's link
+// discovery service: the chassis ID carries the origin switch DPID, the
+// port ID the origin port number.
+type Frame struct {
+	ChassisID uint64 // origin switch datapath ID
+	PortID    uint32 // origin switch port
+	TTLSecs   uint16 // advertised TTL, seconds
+
+	// Auth is the controller's HMAC over (ChassisID, PortID, Timestamp),
+	// or nil for unauthenticated frames.
+	Auth []byte
+
+	// Timestamp is the AES-GCM ciphertext of the departure time, or nil
+	// when the Link Latency Inspector is not deployed.
+	Timestamp []byte
+}
+
+func putTLV(buf []byte, typ uint8, value []byte) []byte {
+	header := uint16(typ)<<9 | uint16(len(value))&0x1ff
+	buf = binary.BigEndian.AppendUint16(buf, header)
+	return append(buf, value...)
+}
+
+// Marshal encodes the frame into LLDP TLV wire bytes.
+func (f *Frame) Marshal() []byte {
+	var buf []byte
+	chassis := make([]byte, 9)
+	chassis[0] = 7 // chassis ID subtype: locally assigned
+	binary.BigEndian.PutUint64(chassis[1:], f.ChassisID)
+	buf = putTLV(buf, tlvChassisID, chassis)
+
+	port := make([]byte, 5)
+	port[0] = 7 // port ID subtype: locally assigned
+	binary.BigEndian.PutUint32(port[1:], f.PortID)
+	buf = putTLV(buf, tlvPortID, port)
+
+	ttl := make([]byte, 2)
+	binary.BigEndian.PutUint16(ttl, f.TTLSecs)
+	buf = putTLV(buf, tlvTTL, ttl)
+
+	if f.Auth != nil {
+		v := append(append([]byte{}, oui[:]...), orgSubtypeAuth)
+		buf = putTLV(buf, tlvOrgSpecific, append(v, f.Auth...))
+	}
+	if f.Timestamp != nil {
+		v := append(append([]byte{}, oui[:]...), orgSubtypeTimestamp)
+		buf = putTLV(buf, tlvOrgSpecific, append(v, f.Timestamp...))
+	}
+	return putTLV(buf, tlvEnd, nil)
+}
+
+// Unmarshal decodes LLDP TLV wire bytes.
+func Unmarshal(b []byte) (*Frame, error) {
+	f := &Frame{}
+	seenChassis, seenPort := false, false
+	for len(b) >= 2 {
+		header := binary.BigEndian.Uint16(b[:2])
+		typ := uint8(header >> 9)
+		length := int(header & 0x1ff)
+		b = b[2:]
+		if len(b) < length {
+			return nil, fmt.Errorf("%w: TLV %d claims %d bytes, %d remain", ErrMalformed, typ, length, len(b))
+		}
+		value := b[:length]
+		b = b[length:]
+		switch typ {
+		case tlvEnd:
+			if !seenChassis || !seenPort {
+				return nil, fmt.Errorf("%w: missing mandatory TLVs", ErrMalformed)
+			}
+			return f, nil
+		case tlvChassisID:
+			if length != 9 {
+				return nil, fmt.Errorf("%w: chassis TLV length %d", ErrMalformed, length)
+			}
+			f.ChassisID = binary.BigEndian.Uint64(value[1:])
+			seenChassis = true
+		case tlvPortID:
+			if length != 5 {
+				return nil, fmt.Errorf("%w: port TLV length %d", ErrMalformed, length)
+			}
+			f.PortID = binary.BigEndian.Uint32(value[1:])
+			seenPort = true
+		case tlvTTL:
+			if length != 2 {
+				return nil, fmt.Errorf("%w: TTL TLV length %d", ErrMalformed, length)
+			}
+			f.TTLSecs = binary.BigEndian.Uint16(value)
+		case tlvOrgSpecific:
+			if length < 4 || [3]byte(value[:3]) != oui {
+				continue // unknown organization: skip
+			}
+			data := make([]byte, length-4)
+			copy(data, value[4:])
+			switch value[3] {
+			case orgSubtypeAuth:
+				f.Auth = data
+			case orgSubtypeTimestamp:
+				f.Timestamp = data
+			}
+		default:
+			// Unknown standard TLV: skip, as real parsers do.
+		}
+	}
+	return nil, fmt.Errorf("%w: missing end TLV", ErrMalformed)
+}
+
+// NewEthernet wraps the LLDP frame in an Ethernet frame from srcHW to the
+// LLDP nearest-bridge multicast address.
+func NewEthernet(srcHW packet.MAC, f *Frame) *packet.Ethernet {
+	return &packet.Ethernet{
+		Dst:     MulticastMAC,
+		Src:     srcHW,
+		Type:    packet.EtherTypeLLDP,
+		Payload: f.Marshal(),
+	}
+}
+
+// FromEthernet extracts and parses an LLDP frame from an Ethernet frame.
+func FromEthernet(e *packet.Ethernet) (*Frame, error) {
+	if e.Type != packet.EtherTypeLLDP {
+		return nil, ErrNotLLDP
+	}
+	return Unmarshal(e.Payload)
+}

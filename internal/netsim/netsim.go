@@ -1,0 +1,139 @@
+// Package netsim assembles simulated SDN networks: it wires switches,
+// hosts, inter-switch trunks, out-of-band side channels and the controller
+// onto one discrete-event kernel. It plays the role Mininet plays in the
+// paper's evaluation.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/link"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// DefaultControlLatency models the controller-switch control channel: a
+// low-millisecond software path with mild jitter.
+func DefaultControlLatency() sim.Sampler {
+	return sim.Normal{Mean: 2 * time.Millisecond, Std: 200 * time.Microsecond, Min: 500 * time.Microsecond}
+}
+
+// TestbedTrunkLatency reproduces the Figure 9 evaluation testbed's switch
+// links: 5 ms nominal with occasional micro-bursts reaching ~12 ms, the
+// jitter Figure 10 records.
+func TestbedTrunkLatency() sim.Sampler {
+	return sim.Burst{
+		Base:  sim.Normal{Mean: 5 * time.Millisecond, Std: 300 * time.Microsecond, Min: 4 * time.Millisecond},
+		Extra: sim.Uniform{Lo: 5 * time.Millisecond, Hi: 7 * time.Millisecond},
+		P:     0.02,
+	}
+}
+
+// Network is an assembled simulation: one kernel, one controller, and the
+// dataplane elements connected to it.
+type Network struct {
+	Kernel     *sim.Kernel
+	Controller *controller.Controller
+
+	switches map[uint64]*dataplane.Switch
+	hosts    map[string]*dataplane.Host
+	hostLoc  map[string]controller.PortRef
+}
+
+// New creates an empty network with a controller using the given options
+// and RNG seed.
+func New(seed int64, ctlOpts ...controller.Option) *Network {
+	k := sim.New(sim.WithSeed(seed))
+	return &Network{
+		Kernel:     k,
+		Controller: controller.New(k, ctlOpts...),
+		switches:   make(map[uint64]*dataplane.Switch),
+		hosts:      make(map[string]*dataplane.Host),
+		hostLoc:    make(map[string]controller.PortRef),
+	}
+}
+
+// AddSwitch creates a switch and connects it to the controller over a
+// control channel with the given latency (nil for the default).
+func (n *Network) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dataplane.Switch {
+	if controlLatency == nil {
+		controlLatency = DefaultControlLatency()
+	}
+	sw := dataplane.NewSwitch(n.Kernel, dpid)
+	ch := link.NewChannel(n.Kernel, controlLatency)
+	sw.SetControlSender(func(b []byte) { ch.Send(link.EndA, b) })
+	ch.OnReceive(link.EndA, sw.HandleControl)
+	conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
+	ch.OnReceive(link.EndB, conn.Handle)
+	n.switches[dpid] = sw
+	return sw
+}
+
+// Switch returns a switch by datapath id, or nil.
+func (n *Network) Switch(dpid uint64) *dataplane.Switch { return n.switches[dpid] }
+
+// AddHost attaches a new host to a switch port over a link with the given
+// latency (nil for zero).
+func (n *Network) AddHost(name string, mac, ip string, dpid uint64, port uint32, latency sim.Sampler, opts ...dataplane.HostOption) *dataplane.Host {
+	sw, ok := n.switches[dpid]
+	if !ok {
+		panic(fmt.Sprintf("netsim: no switch 0x%x", dpid))
+	}
+	l := link.NewLink(n.Kernel, latency)
+	sw.AddPort(port, l, link.EndA, nil)
+	h := dataplane.NewHost(n.Kernel, name, packet.MustMAC(mac), packet.MustIPv4(ip), l, link.EndB, opts...)
+	n.hosts[name] = h
+	n.hostLoc[name] = controller.PortRef{DPID: dpid, Port: port}
+	return h
+}
+
+// Host returns a host by name, or nil.
+func (n *Network) Host(name string) *dataplane.Host { return n.hosts[name] }
+
+// HostLocation reports the switch port a host was attached to.
+func (n *Network) HostLocation(name string) controller.PortRef { return n.hostLoc[name] }
+
+// MoveHost detaches a host's name binding and re-attaches a new host
+// object at a different switch port, modeling a migration's endpoint. The
+// old host object should be brought down by the caller beforehand.
+func (n *Network) MoveHost(name string, mac, ip string, dpid uint64, port uint32, latency sim.Sampler, opts ...dataplane.HostOption) *dataplane.Host {
+	return n.AddHost(name, mac, ip, dpid, port, latency, opts...)
+}
+
+// AddTrunk links two switch ports with the given latency (nil for the
+// testbed default) and returns the inter-switch link.
+func (n *Network) AddTrunk(dpidA uint64, portA uint32, dpidB uint64, portB uint32, latency sim.Sampler) *link.Link {
+	swA, okA := n.switches[dpidA]
+	swB, okB := n.switches[dpidB]
+	if !okA || !okB {
+		panic(fmt.Sprintf("netsim: trunk between unknown switches 0x%x 0x%x", dpidA, dpidB))
+	}
+	if latency == nil {
+		latency = TestbedTrunkLatency()
+	}
+	l := link.NewLink(n.Kernel, latency)
+	swA.AddPort(portA, l, link.EndA, nil)
+	swB.AddPort(portB, l, link.EndB, nil)
+	return l
+}
+
+// AddOOBChannel creates an out-of-band side channel (e.g. the attackers'
+// 802.11 link in Figure 1) that bypasses the SDN entirely.
+func (n *Network) AddOOBChannel(latency sim.Sampler) *link.Channel {
+	return link.NewChannel(n.Kernel, latency)
+}
+
+// Run advances the simulation by d.
+func (n *Network) Run(d time.Duration) error { return n.Kernel.RunFor(d) }
+
+// Shutdown stops controller and switch background tickers so kernels can
+// drain.
+func (n *Network) Shutdown() {
+	n.Controller.Shutdown()
+	for _, sw := range n.switches {
+		sw.Shutdown()
+	}
+}

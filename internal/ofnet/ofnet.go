@@ -1,0 +1,234 @@
+// Package ofnet carries OpenFlow messages over real network connections:
+// length-delimited framing driven by the OpenFlow header's own length
+// field, plus a small connection server with managed goroutine lifetimes.
+// The simulation itself runs on in-process channels for determinism; this
+// package is the transport an external agent (a real switch, a fuzzer, a
+// monitoring tool) uses to speak the same wire protocol.
+package ofnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sdntamper/internal/openflow"
+)
+
+// MaxMessageSize bounds one framed message; anything larger is treated as
+// a protocol violation rather than a reason to allocate unboundedly.
+const MaxMessageSize = 1 << 16
+
+// Framing errors callers may match.
+var (
+	ErrTooLarge = errors.New("ofnet: message exceeds maximum size")
+	ErrClosed   = errors.New("ofnet: connection closed")
+)
+
+// Conn frames OpenFlow messages over a net.Conn. Send and Receive may be
+// used from different goroutines, but each individually is not safe for
+// concurrent use by multiple goroutines.
+type Conn struct {
+	c net.Conn
+	r *bufio.Reader
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewConn wraps an established connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReader(c)}
+}
+
+// Send writes one framed message.
+func (c *Conn) Send(xid uint32, m openflow.Message) error {
+	buf := openflow.Marshal(xid, m)
+	if len(buf) > MaxMessageSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(buf))
+	}
+	if _, err := c.c.Write(buf); err != nil {
+		return fmt.Errorf("ofnet: send %s: %w", m.MessageType(), err)
+	}
+	return nil
+}
+
+// SendRaw writes one pre-encoded frame. The frame must begin with a valid
+// OpenFlow header whose length field matches len(frame).
+func (c *Conn) SendRaw(frame []byte) error {
+	if len(frame) < 8 {
+		return fmt.Errorf("ofnet: raw frame shorter than a header")
+	}
+	if len(frame) > MaxMessageSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(frame))
+	}
+	if declared := int(binary.BigEndian.Uint16(frame[2:4])); declared != len(frame) {
+		return fmt.Errorf("ofnet: declared length %d != frame length %d", declared, len(frame))
+	}
+	if _, err := c.c.Write(frame); err != nil {
+		return fmt.Errorf("ofnet: send raw: %w", err)
+	}
+	return nil
+}
+
+// ReceiveRaw blocks for the next framed message and returns its raw bytes
+// without decoding, for callers that feed another parser.
+func (c *Conn) ReceiveRaw() ([]byte, error) {
+	header := make([]byte, 8)
+	if _, err := io.ReadFull(c.r, header); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("ofnet: read header: %w", err)
+	}
+	length := int(binary.BigEndian.Uint16(header[2:4]))
+	if length < 8 {
+		return nil, fmt.Errorf("ofnet: declared length %d below header size", length)
+	}
+	if length > MaxMessageSize {
+		return nil, fmt.Errorf("%w: declared %d bytes", ErrTooLarge, length)
+	}
+	frame := make([]byte, length)
+	copy(frame, header)
+	if _, err := io.ReadFull(c.r, frame[8:]); err != nil {
+		return nil, fmt.Errorf("ofnet: read body: %w", err)
+	}
+	return frame, nil
+}
+
+// Receive blocks for the next framed message. io.EOF is returned verbatim
+// on clean peer close so callers can distinguish shutdown from damage.
+func (c *Conn) Receive() (uint32, openflow.Message, error) {
+	frame, err := c.ReceiveRaw()
+	if err != nil {
+		return 0, nil, err
+	}
+	xid, m, err := openflow.Unmarshal(frame)
+	if err != nil {
+		return 0, nil, fmt.Errorf("ofnet: decode: %w", err)
+	}
+	return xid, m, nil
+}
+
+// Close tears the connection down; it is idempotent.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.c.Close()
+}
+
+// Handler processes one accepted connection. It runs on its own goroutine
+// and owns the connection; the server closes the connection after the
+// handler returns.
+type Handler func(conn *Conn)
+
+// Server accepts OpenFlow connections and dispatches them to a handler
+// with fully managed goroutine lifetimes: Shutdown closes the listener
+// and every live connection, then waits for all handlers to return.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu    sync.Mutex
+	conns map[*Conn]struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Listen starts a server on addr ("127.0.0.1:0" picks a free port).
+func Listen(addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ofnet: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:      ln,
+		handler: handler,
+		conns:   make(map[*Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return // clean shutdown
+			default:
+			}
+			// Transient accept errors: keep serving; a closed listener
+			// error without shutdown also lands here and ends the loop.
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		conn := NewConn(nc)
+		s.track(conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.handler(conn)
+		}()
+	}
+}
+
+func (s *Server) track(c *Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[c] = struct{}{}
+}
+
+func (s *Server) untrack(c *Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// ActiveConns reports currently tracked connections.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Shutdown stops accepting, closes live connections, and waits for every
+// handler goroutine to exit.
+func (s *Server) Shutdown() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Dial connects to an ofnet server.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ofnet: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}

@@ -1,0 +1,305 @@
+package ofnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+)
+
+// pipePair returns two framed connections joined by an in-memory pipe.
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestPipeRoundTripAllTypes(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	msgs := []openflow.Message{
+		&openflow.Hello{},
+		&openflow.EchoRequest{Data: []byte("probe")},
+		&openflow.FeaturesReply{DatapathID: 7, Ports: []openflow.PortDesc{{No: 1, Name: "p1", Up: true}}},
+		&openflow.PacketIn{BufferID: openflow.NoBuffer, InPort: 3, Data: []byte{1, 2, 3}},
+		&openflow.PortStatus{Reason: openflow.PortReasonModify, Desc: openflow.PortDesc{No: 2, Name: "p2"}},
+		&openflow.FlowMod{Command: openflow.FlowAdd, Match: openflow.MatchAll(), Priority: 5,
+			Actions: []openflow.Action{openflow.Output(4)}},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, want := range msgs {
+			xid, got, err := b.Receive()
+			if err != nil {
+				t.Errorf("receive %d: %v", i, err)
+				return
+			}
+			if xid != uint32(i) {
+				t.Errorf("xid = %d, want %d", xid, i)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("message %d mismatch:\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+	}()
+	for i, m := range msgs {
+		if err := a.Send(uint32(i), m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+}
+
+func TestReceiveEOFOnClose(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	go a.Close()
+	if _, _, err := b.Receive(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestReceiveRejectsBogusLength(t *testing.T) {
+	raw, framed := net.Pipe()
+	conn := NewConn(framed)
+	defer conn.Close()
+	defer raw.Close()
+
+	go func() {
+		header := make([]byte, 8)
+		header[0] = openflow.Version
+		binary.BigEndian.PutUint16(header[2:4], 4) // below header size
+		raw.Write(header)
+	}()
+	if _, _, err := conn.Receive(); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+}
+
+func TestReceiveRejectsGarbageBody(t *testing.T) {
+	raw, framed := net.Pipe()
+	conn := NewConn(framed)
+	defer conn.Close()
+	defer raw.Close()
+	go func() {
+		frame := make([]byte, 12)
+		frame[0] = openflow.Version
+		frame[1] = 0xee // unknown type
+		binary.BigEndian.PutUint16(frame[2:4], 12)
+		raw.Write(frame)
+	}()
+	if _, _, err := conn.Receive(); err == nil {
+		t.Fatal("undecodable frame accepted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// echoHandler answers EchoRequest with EchoReply until the peer closes.
+func echoHandler(conn *Conn) {
+	for {
+		xid, m, err := conn.Receive()
+		if err != nil {
+			return
+		}
+		if req, ok := m.(*openflow.EchoRequest); ok {
+			if err := conn.Send(xid, &openflow.EchoReply{Data: req.Data}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func TestTCPServerEcho(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	client, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Send(42, &openflow.EchoRequest{Data: []byte("over-real-tcp")}); err != nil {
+		t.Fatal(err)
+	}
+	xid, m, err := client.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, ok := m.(*openflow.EchoReply)
+	if !ok || xid != 42 || string(reply.Data) != "over-real-tcp" {
+		t.Fatalf("reply = %T %+v xid=%d", m, m, xid)
+	}
+}
+
+func TestTCPServerConcurrentClients(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				payload := []byte{byte(id), byte(j)}
+				if err := c.Send(uint32(id*100+j), &openflow.EchoRequest{Data: payload}); err != nil {
+					errs <- err
+					return
+				}
+				_, m, err := c.Receive()
+				if err != nil {
+					errs <- err
+					return
+				}
+				reply, ok := m.(*openflow.EchoReply)
+				if !ok || reply.Data[0] != byte(id) || reply.Data[1] != byte(j) {
+					errs <- errors.New("cross-connection reply mixup")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerShutdownWaitsForHandlers(t *testing.T) {
+	started := make(chan struct{})
+	finished := make(chan struct{})
+	srv, err := Listen("127.0.0.1:0", func(conn *Conn) {
+		close(started)
+		_, _, _ = conn.Receive() // blocks until shutdown closes us
+		time.Sleep(10 * time.Millisecond)
+		close(finished)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	<-started
+	if srv.ActiveConns() != 1 {
+		t.Fatalf("active = %d", srv.ActiveConns())
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case <-finished:
+	default:
+		t.Fatal("Shutdown returned before the handler finished")
+	}
+	if srv.ActiveConns() != 0 {
+		t.Fatalf("active after shutdown = %d", srv.ActiveConns())
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// TestFullControlExchangeOverTCP drives a handshake-shaped conversation:
+// the "controller" handler sends Hello + FeaturesRequest; the client
+// plays a switch answering with a FeaturesReply and then a PacketIn.
+func TestFullControlExchangeOverTCP(t *testing.T) {
+	type result struct {
+		dpid uint64
+		pkt  *openflow.PacketIn
+	}
+	got := make(chan result, 1)
+	srv, err := Listen("127.0.0.1:0", func(conn *Conn) {
+		if err := conn.Send(1, &openflow.Hello{}); err != nil {
+			return
+		}
+		if err := conn.Send(2, &openflow.FeaturesRequest{}); err != nil {
+			return
+		}
+		var res result
+		for i := 0; i < 2; i++ {
+			_, m, err := conn.Receive()
+			if err != nil {
+				return
+			}
+			switch msg := m.(type) {
+			case *openflow.FeaturesReply:
+				res.dpid = msg.DatapathID
+			case *openflow.PacketIn:
+				res.pkt = msg
+			}
+		}
+		got <- res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	sw, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	for i := 0; i < 2; i++ {
+		if _, _, err := sw.Receive(); err != nil { // Hello, FeaturesRequest
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Send(1, &openflow.FeaturesReply{DatapathID: 0xabc}); err != nil {
+		t.Fatal(err)
+	}
+	frame := packet.NewARPRequest(packet.MustMAC("aa:aa:aa:aa:aa:aa"),
+		packet.MustIPv4("10.0.0.1"), packet.MustIPv4("10.0.0.2")).Marshal()
+	if err := sw.Send(2, &openflow.PacketIn{BufferID: openflow.NoBuffer, InPort: 1, Data: frame}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-got:
+		if res.dpid != 0xabc || res.pkt == nil || res.pkt.InPort != 1 {
+			t.Fatalf("exchange result = %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("exchange timed out")
+	}
+}

@@ -1,0 +1,360 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdntamper/internal/packet"
+)
+
+func roundTrip(t *testing.T, xid uint32, m Message) Message {
+	t.Helper()
+	gotXID, got, err := Unmarshal(Marshal(xid, m))
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", m.MessageType(), err)
+	}
+	if gotXID != xid {
+		t.Fatalf("xid = %d, want %d", gotXID, xid)
+	}
+	if got.MessageType() != m.MessageType() {
+		t.Fatalf("type = %s, want %s", got.MessageType(), m.MessageType())
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	roundTrip(t, 1, &Hello{})
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	req, ok := roundTrip(t, 2, &EchoRequest{Data: []byte("probe-77")}).(*EchoRequest)
+	if !ok || !bytes.Equal(req.Data, []byte("probe-77")) {
+		t.Fatalf("echo request mismatch: %+v", req)
+	}
+	rep, ok := roundTrip(t, 3, &EchoReply{Data: []byte("probe-77")}).(*EchoReply)
+	if !ok || !bytes.Equal(rep.Data, []byte("probe-77")) {
+		t.Fatalf("echo reply mismatch: %+v", rep)
+	}
+}
+
+func TestFeaturesRoundTrip(t *testing.T) {
+	roundTrip(t, 4, &FeaturesRequest{})
+	in := &FeaturesReply{
+		DatapathID: 0x1,
+		Ports: []PortDesc{
+			{No: 1, Name: "eth1", Up: true},
+			{No: 2, Name: "eth2", Up: false},
+		},
+	}
+	got, ok := roundTrip(t, 5, in).(*FeaturesReply)
+	if !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("features reply mismatch:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestPortDescLongNameTruncates(t *testing.T) {
+	in := &FeaturesReply{DatapathID: 1, Ports: []PortDesc{{No: 1, Name: "a-very-long-port-name-indeed", Up: true}}}
+	got, ok := roundTrip(t, 1, in).(*FeaturesReply)
+	if !ok || len(got.Ports[0].Name) != 16 {
+		t.Fatalf("port name = %q, want 16-byte truncation", got.Ports[0].Name)
+	}
+}
+
+func TestPacketInRoundTrip(t *testing.T) {
+	in := &PacketIn{BufferID: NoBuffer, InPort: 3, Reason: ReasonNoMatch, Data: []byte{1, 2, 3}}
+	got, ok := roundTrip(t, 6, in).(*PacketIn)
+	if !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("packet-in mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestPortStatusRoundTrip(t *testing.T) {
+	in := &PortStatus{Reason: PortReasonModify, Desc: PortDesc{No: 7, Name: "eth7", Up: false}}
+	got, ok := roundTrip(t, 7, in).(*PortStatus)
+	if !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("port-status mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestPacketOutRoundTrip(t *testing.T) {
+	in := &PacketOut{
+		BufferID: NoBuffer,
+		InPort:   PortNone,
+		Actions:  []Action{Output(2), OutputFlood()},
+		Data:     []byte{0xde, 0xad},
+	}
+	got, ok := roundTrip(t, 8, in).(*PacketOut)
+	if !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("packet-out mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestPacketOutNoActions(t *testing.T) {
+	in := &PacketOut{BufferID: NoBuffer, InPort: 1, Actions: []Action{}, Data: nil}
+	got, ok := roundTrip(t, 9, in).(*PacketOut)
+	if !ok || len(got.Actions) != 0 || len(got.Data) != 0 {
+		t.Fatalf("empty packet-out mismatch: %+v", got)
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	in := &FlowMod{
+		Command: FlowAdd,
+		Match: Match{
+			Wildcards: WildAll &^ WildEthDst,
+			Fields:    Fields{EthDst: packet.MustMAC("aa:aa:aa:aa:aa:aa")},
+		},
+		Priority:    100,
+		IdleTimeout: 5,
+		HardTimeout: 0,
+		Actions:     []Action{Output(4)},
+	}
+	got, ok := roundTrip(t, 10, in).(*FlowMod)
+	if !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("flow-mod mismatch:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	req := &StatsRequest{Kind: StatsPort, PortNo: PortNone}
+	gotReq, ok := roundTrip(t, 11, req).(*StatsRequest)
+	if !ok || !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("stats request mismatch: %+v", gotReq)
+	}
+
+	flowRep := &StatsReply{
+		Kind: StatsFlow,
+		Flows: []FlowStats{
+			{Match: MatchAll(), Priority: 1, Packets: 10, Bytes: 1000, Duration: 3 * time.Second},
+		},
+	}
+	gotFlow, ok := roundTrip(t, 12, flowRep).(*StatsReply)
+	if !ok || !reflect.DeepEqual(gotFlow, flowRep) {
+		t.Fatalf("flow stats mismatch:\n got %+v\nwant %+v", gotFlow, flowRep)
+	}
+
+	portRep := &StatsReply{
+		Kind: StatsPort,
+		Ports: []PortStats{
+			{PortNo: 1, RxPackets: 5, TxPackets: 6, RxBytes: 500, TxBytes: 600},
+			{PortNo: 2, RxPackets: 7, TxPackets: 8, RxBytes: 700, TxBytes: 800},
+		},
+	}
+	gotPort, ok := roundTrip(t, 13, portRep).(*StatsReply)
+	if !ok || !reflect.DeepEqual(gotPort, portRep) {
+		t.Fatalf("port stats mismatch:\n got %+v\nwant %+v", gotPort, portRep)
+	}
+}
+
+func TestBarrierRoundTrip(t *testing.T) {
+	roundTrip(t, 14, &BarrierRequest{})
+	roundTrip(t, 15, &BarrierReply{})
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("nil: %v", err)
+	}
+	bad := Marshal(1, &Hello{})
+	bad[0] = 0x04
+	if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	bad = Marshal(1, &Hello{})
+	bad[1] = 0xee
+	if _, _, err := Unmarshal(bad); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("unknown type: %v", err)
+	}
+	bad = Marshal(1, &PacketIn{Data: []byte{1}})
+	bad = bad[:9] // cut into the body
+	bad[2] = 0
+	bad[3] = 20 // length now exceeds buffer
+	if _, _, err := Unmarshal(bad); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short body: %v", err)
+	}
+}
+
+func TestUnmarshalTruncatedBodies(t *testing.T) {
+	msgs := []Message{
+		&FeaturesReply{DatapathID: 1, Ports: []PortDesc{{No: 1}}},
+		&PacketIn{Data: []byte{1}},
+		&PortStatus{},
+		&PacketOut{Actions: []Action{Output(1)}},
+		&FlowMod{Match: MatchAll()},
+		&StatsRequest{},
+		&StatsReply{Kind: StatsFlow, Flows: []FlowStats{{}}},
+	}
+	for _, m := range msgs {
+		full := Marshal(1, m)
+		for cut := 9; cut < len(full)-1; cut += 3 {
+			b := make([]byte, cut)
+			copy(b, full[:cut])
+			// Fix up declared length so the header passes and body decode
+			// must do its own bounds checks.
+			b[2] = byte(cut >> 8)
+			b[3] = byte(cut)
+			if _, _, err := Unmarshal(b); err == nil {
+				// Some prefixes are legitimately decodable (e.g. PacketIn
+				// with shorter data); only structural truncations must fail.
+				continue
+			}
+		}
+	}
+}
+
+func TestMatchAllMatchesEverything(t *testing.T) {
+	f := func(inPort uint32, src, dst [6]byte, etype uint16) bool {
+		return MatchAll().Matches(Fields{InPort: inPort, EthSrc: packet.MAC(src), EthDst: packet.MAC(dst), EthType: etype})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactMatchIsExact(t *testing.T) {
+	base := Fields{
+		InPort: 1,
+		EthSrc: packet.MustMAC("aa:aa:aa:aa:aa:aa"),
+		EthDst: packet.MustMAC("bb:bb:bb:bb:bb:bb"),
+	}
+	m := ExactMatch(base)
+	if !m.Matches(base) {
+		t.Fatal("exact match rejected identical tuple")
+	}
+	other := base
+	other.InPort = 2
+	if m.Matches(other) {
+		t.Fatal("exact match accepted different in-port")
+	}
+}
+
+func TestPartialWildcards(t *testing.T) {
+	dst := packet.MustMAC("bb:bb:bb:bb:bb:bb")
+	m := Match{Wildcards: WildAll &^ WildEthDst, Fields: Fields{EthDst: dst}}
+	if !m.Matches(Fields{InPort: 99, EthDst: dst}) {
+		t.Fatal("dst-only match rejected matching packet")
+	}
+	if m.Matches(Fields{InPort: 99, EthDst: packet.MustMAC("cc:cc:cc:cc:cc:cc")}) {
+		t.Fatal("dst-only match accepted wrong dst")
+	}
+}
+
+func TestMatchesEachFieldIndependently(t *testing.T) {
+	base := Fields{
+		InPort: 1, EthType: 0x0800, IPProto: 6, TPSrc: 1000, TPDst: 80,
+		EthSrc: packet.MustMAC("aa:aa:aa:aa:aa:aa"),
+		EthDst: packet.MustMAC("bb:bb:bb:bb:bb:bb"),
+		IPSrc:  packet.MustIPv4("10.0.0.1"),
+		IPDst:  packet.MustIPv4("10.0.0.2"),
+	}
+	mutations := []func(*Fields){
+		func(f *Fields) { f.InPort++ },
+		func(f *Fields) { f.EthSrc[5]++ },
+		func(f *Fields) { f.EthDst[5]++ },
+		func(f *Fields) { f.EthType++ },
+		func(f *Fields) { f.IPSrc[3]++ },
+		func(f *Fields) { f.IPDst[3]++ },
+		func(f *Fields) { f.IPProto++ },
+		func(f *Fields) { f.TPSrc++ },
+		func(f *Fields) { f.TPDst++ },
+	}
+	m := ExactMatch(base)
+	for i, mutate := range mutations {
+		other := base
+		mutate(&other)
+		if m.Matches(other) {
+			t.Fatalf("mutation %d not detected by exact match", i)
+		}
+	}
+}
+
+func TestExtractFieldsTCP(t *testing.T) {
+	e := packet.NewTCPSegment(
+		packet.MustMAC("aa:aa:aa:aa:aa:aa"), packet.MustMAC("bb:bb:bb:bb:bb:bb"),
+		packet.MustIPv4("10.0.0.1"), packet.MustIPv4("10.0.0.2"),
+		40000, 443, packet.TCPSyn, 0, 0, nil)
+	f := ExtractFields(5, e.Marshal())
+	if f.InPort != 5 || f.EthType != uint16(packet.EtherTypeIPv4) ||
+		f.IPProto != packet.ProtoTCP || f.TPSrc != 40000 || f.TPDst != 443 {
+		t.Fatalf("fields = %+v", f)
+	}
+}
+
+func TestExtractFieldsICMPUsesTypeCode(t *testing.T) {
+	e := packet.NewICMPEcho(
+		packet.MustMAC("aa:aa:aa:aa:aa:aa"), packet.MustMAC("bb:bb:bb:bb:bb:bb"),
+		packet.MustIPv4("10.0.0.1"), packet.MustIPv4("10.0.0.2"), 1, 1, false)
+	f := ExtractFields(1, e.Marshal())
+	if f.TPSrc != uint16(packet.ICMPEchoRequest) || f.TPDst != 0 {
+		t.Fatalf("icmp type/code = %d/%d", f.TPSrc, f.TPDst)
+	}
+}
+
+func TestExtractFieldsARP(t *testing.T) {
+	e := packet.NewARPRequest(packet.MustMAC("aa:aa:aa:aa:aa:aa"), packet.MustIPv4("10.0.0.1"), packet.MustIPv4("10.0.0.2"))
+	f := ExtractFields(2, e.Marshal())
+	if f.EthType != uint16(packet.EtherTypeARP) {
+		t.Fatalf("ethtype = 0x%04x", f.EthType)
+	}
+	if !f.IPSrc.IsZero() {
+		t.Fatal("ARP should not populate IP fields")
+	}
+}
+
+func TestExtractFieldsGarbage(t *testing.T) {
+	f := ExtractFields(3, []byte{1, 2})
+	if f.InPort != 3 || f.EthType != 0 {
+		t.Fatalf("garbage fields = %+v", f)
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if got := MatchAll().String(); got != "match(*)" {
+		t.Fatalf("MatchAll string = %q", got)
+	}
+	m := Match{Wildcards: WildAll &^ WildInPort, Fields: Fields{InPort: 7}}
+	if got := m.String(); got != "match(in=7)" {
+		t.Fatalf("partial match string = %q", got)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := map[string]Action{
+		"output(CONTROLLER)": OutputController(),
+		"output(FLOOD)":      OutputFlood(),
+		"output(3)":          Output(3),
+	}
+	for want, a := range cases {
+		if got := a.String(); got != want {
+			t.Fatalf("action = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMessageTypeString(t *testing.T) {
+	if TypePacketIn.String() != "PacketIn" || MessageType(99).String() != "MessageType(99)" {
+		t.Fatal("message type names wrong")
+	}
+}
+
+func TestMatchEncodeRoundTripProperty(t *testing.T) {
+	f := func(wild uint32, inPort uint32, src, dst [6]byte, etype uint16, ipsrc, ipdst [4]byte, proto uint8, tps, tpd uint16) bool {
+		m := Match{
+			Wildcards: Wildcards(wild) & WildAll,
+			Fields: Fields{
+				InPort: inPort, EthSrc: packet.MAC(src), EthDst: packet.MAC(dst),
+				EthType: etype, IPSrc: packet.IPv4Addr(ipsrc), IPDst: packet.IPv4Addr(ipdst),
+				IPProto: proto, TPSrc: tps, TPDst: tpd,
+			},
+		}
+		got, err := decodeMatch(m.encode(nil))
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Stats request/reply kinds.
+const (
+	StatsFlow uint8 = 1
+	StatsPort uint8 = 4
+)
+
+// StatsRequest polls a switch for flow or port counters. SPHINX issues
+// these periodically to cross-check Flow-Mod expectations against observed
+// dataplane volume.
+type StatsRequest struct {
+	Kind uint8
+	// PortNo scopes a port-stats request; PortNone requests all ports.
+	PortNo uint32
+}
+
+// MessageType implements Message.
+func (*StatsRequest) MessageType() MessageType { return TypeStatsRequest }
+
+func (s *StatsRequest) encodeBody(buf []byte) []byte {
+	buf = append(buf, s.Kind)
+	return binary.BigEndian.AppendUint32(buf, s.PortNo)
+}
+
+func decodeStatsRequest(b []byte) (Message, error) {
+	if len(b) < 5 {
+		return nil, fmt.Errorf("%w: stats request needs 5 bytes", ErrTruncated)
+	}
+	return &StatsRequest{Kind: b[0], PortNo: binary.BigEndian.Uint32(b[1:5])}, nil
+}
+
+// FlowStats is one flow entry's counters.
+type FlowStats struct {
+	Match    Match
+	Priority uint16
+	Packets  uint64
+	Bytes    uint64
+	Duration time.Duration
+}
+
+const flowStatsLen = matchLen + 2 + 8 + 8 + 8
+
+func (f *FlowStats) encode(buf []byte) []byte {
+	buf = f.Match.encode(buf)
+	buf = binary.BigEndian.AppendUint16(buf, f.Priority)
+	buf = binary.BigEndian.AppendUint64(buf, f.Packets)
+	buf = binary.BigEndian.AppendUint64(buf, f.Bytes)
+	return binary.BigEndian.AppendUint64(buf, uint64(f.Duration))
+}
+
+func decodeFlowStats(b []byte) (FlowStats, error) {
+	if len(b) < flowStatsLen {
+		return FlowStats{}, fmt.Errorf("%w: flow stats needs %d bytes", ErrTruncated, flowStatsLen)
+	}
+	m, err := decodeMatch(b)
+	if err != nil {
+		return FlowStats{}, err
+	}
+	rest := b[matchLen:]
+	return FlowStats{
+		Match:    m,
+		Priority: binary.BigEndian.Uint16(rest[0:2]),
+		Packets:  binary.BigEndian.Uint64(rest[2:10]),
+		Bytes:    binary.BigEndian.Uint64(rest[10:18]),
+		Duration: time.Duration(binary.BigEndian.Uint64(rest[18:26])),
+	}, nil
+}
+
+// PortStats is one port's cumulative counters.
+type PortStats struct {
+	PortNo    uint32
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+}
+
+const portStatsLen = 4 + 8*4
+
+func (p *PortStats) encode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, p.PortNo)
+	buf = binary.BigEndian.AppendUint64(buf, p.RxPackets)
+	buf = binary.BigEndian.AppendUint64(buf, p.TxPackets)
+	buf = binary.BigEndian.AppendUint64(buf, p.RxBytes)
+	return binary.BigEndian.AppendUint64(buf, p.TxBytes)
+}
+
+func decodePortStats(b []byte) (PortStats, error) {
+	if len(b) < portStatsLen {
+		return PortStats{}, fmt.Errorf("%w: port stats needs %d bytes", ErrTruncated, portStatsLen)
+	}
+	return PortStats{
+		PortNo:    binary.BigEndian.Uint32(b[0:4]),
+		RxPackets: binary.BigEndian.Uint64(b[4:12]),
+		TxPackets: binary.BigEndian.Uint64(b[12:20]),
+		RxBytes:   binary.BigEndian.Uint64(b[20:28]),
+		TxBytes:   binary.BigEndian.Uint64(b[28:36]),
+	}, nil
+}
+
+// StatsReply carries flow or port counter sets, depending on Kind.
+type StatsReply struct {
+	Kind  uint8
+	Flows []FlowStats
+	Ports []PortStats
+}
+
+// MessageType implements Message.
+func (*StatsReply) MessageType() MessageType { return TypeStatsReply }
+
+func (s *StatsReply) encodeBody(buf []byte) []byte {
+	buf = append(buf, s.Kind)
+	switch s.Kind {
+	case StatsFlow:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Flows)))
+		for i := range s.Flows {
+			buf = s.Flows[i].encode(buf)
+		}
+	case StatsPort:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Ports)))
+		for i := range s.Ports {
+			buf = s.Ports[i].encode(buf)
+		}
+	}
+	return buf
+}
+
+func decodeStatsReply(b []byte) (Message, error) {
+	if len(b) < 3 {
+		return nil, fmt.Errorf("%w: stats reply needs 3 bytes", ErrTruncated)
+	}
+	s := &StatsReply{Kind: b[0]}
+	n := int(binary.BigEndian.Uint16(b[1:3]))
+	b = b[3:]
+	switch s.Kind {
+	case StatsFlow:
+		s.Flows = make([]FlowStats, 0, n)
+		for i := 0; i < n; i++ {
+			fs, err := decodeFlowStats(b)
+			if err != nil {
+				return nil, err
+			}
+			s.Flows = append(s.Flows, fs)
+			b = b[flowStatsLen:]
+		}
+	case StatsPort:
+		s.Ports = make([]PortStats, 0, n)
+		for i := 0; i < n; i++ {
+			ps, err := decodePortStats(b)
+			if err != nil {
+				return nil, err
+			}
+			s.Ports = append(s.Ports, ps)
+			b = b[portStatsLen:]
+		}
+	default:
+		return nil, fmt.Errorf("openflow: unknown stats kind %d", s.Kind)
+	}
+	return s, nil
+}

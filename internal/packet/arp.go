@@ -1,0 +1,69 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+const arpLen = 28
+
+// ARP is an Ethernet/IPv4 ARP packet.
+type ARP struct {
+	Op       uint16
+	SenderHW MAC
+	SenderIP IPv4Addr
+	TargetHW MAC
+	TargetIP IPv4Addr
+}
+
+// Marshal encodes the packet into wire bytes.
+func (a *ARP) Marshal() []byte {
+	buf := make([]byte, arpLen)
+	binary.BigEndian.PutUint16(buf[0:2], 1)      // hardware type: Ethernet
+	binary.BigEndian.PutUint16(buf[2:4], 0x0800) // protocol type: IPv4
+	buf[4] = 6                                   // hardware size
+	buf[5] = 4                                   // protocol size
+	binary.BigEndian.PutUint16(buf[6:8], a.Op)
+	copy(buf[8:14], a.SenderHW[:])
+	copy(buf[14:18], a.SenderIP[:])
+	copy(buf[18:24], a.TargetHW[:])
+	copy(buf[24:28], a.TargetIP[:])
+	return buf
+}
+
+// UnmarshalARP decodes wire bytes into an ARP packet.
+func UnmarshalARP(b []byte) (*ARP, error) {
+	if len(b) < arpLen {
+		return nil, fmt.Errorf("%w: arp needs %d bytes, have %d", ErrTruncated, arpLen, len(b))
+	}
+	if ht := binary.BigEndian.Uint16(b[0:2]); ht != 1 {
+		return nil, fmt.Errorf("packet: unsupported arp hardware type %d", ht)
+	}
+	if pt := binary.BigEndian.Uint16(b[2:4]); pt != 0x0800 {
+		return nil, fmt.Errorf("packet: unsupported arp protocol type 0x%04x", pt)
+	}
+	a := &ARP{Op: binary.BigEndian.Uint16(b[6:8])}
+	copy(a.SenderHW[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetHW[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}
+
+// NewARPRequest builds a who-has broadcast frame asking for targetIP.
+func NewARPRequest(senderHW MAC, senderIP, targetIP IPv4Addr) *Ethernet {
+	arp := &ARP{Op: ARPRequest, SenderHW: senderHW, SenderIP: senderIP, TargetIP: targetIP}
+	return &Ethernet{Dst: BroadcastMAC, Src: senderHW, Type: EtherTypeARP, Payload: arp.Marshal()}
+}
+
+// NewARPReply builds a unicast is-at reply to a prior request.
+func NewARPReply(senderHW MAC, senderIP IPv4Addr, targetHW MAC, targetIP IPv4Addr) *Ethernet {
+	arp := &ARP{Op: ARPReply, SenderHW: senderHW, SenderIP: senderIP, TargetHW: targetHW, TargetIP: targetIP}
+	return &Ethernet{Dst: targetHW, Src: senderHW, Type: EtherTypeARP, Payload: arp.Marshal()}
+}

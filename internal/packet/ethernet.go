@@ -1,0 +1,73 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes used by the simulation.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeLLDP EtherType = 0x88cc
+)
+
+// String names well-known EtherTypes.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypeLLDP:
+		return "LLDP"
+	default:
+		return fmt.Sprintf("0x%04x", uint16(t))
+	}
+}
+
+// ErrTruncated reports a buffer too short for the frame being decoded.
+var ErrTruncated = errors.New("packet: truncated")
+
+const ethernetHeaderLen = 14
+
+// Ethernet is an untagged Ethernet II frame.
+type Ethernet struct {
+	Dst     MAC
+	Src     MAC
+	Type    EtherType
+	Payload []byte
+}
+
+// Marshal encodes the frame into wire bytes.
+func (e *Ethernet) Marshal() []byte {
+	buf := make([]byte, ethernetHeaderLen+len(e.Payload))
+	copy(buf[0:6], e.Dst[:])
+	copy(buf[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], uint16(e.Type))
+	copy(buf[ethernetHeaderLen:], e.Payload)
+	return buf
+}
+
+// UnmarshalEthernet decodes wire bytes into a frame. The payload slice is
+// copied so callers may retain it independently of the input buffer.
+func UnmarshalEthernet(b []byte) (*Ethernet, error) {
+	if len(b) < ethernetHeaderLen {
+		return nil, fmt.Errorf("%w: ethernet header needs %d bytes, have %d", ErrTruncated, ethernetHeaderLen, len(b))
+	}
+	e := &Ethernet{Type: EtherType(binary.BigEndian.Uint16(b[12:14]))}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.Payload = make([]byte, len(b)-ethernetHeaderLen)
+	copy(e.Payload, b[ethernetHeaderLen:])
+	return e, nil
+}
+
+// String renders a compact human-readable form for traces.
+func (e *Ethernet) String() string {
+	return fmt.Sprintf("eth %s->%s %s len=%d", e.Src, e.Dst, e.Type, len(e.Payload))
+}

@@ -1,0 +1,66 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used by the simulation.
+const (
+	ICMPEchoReply   uint8 = 0
+	ICMPEchoRequest uint8 = 8
+)
+
+const icmpHeaderLen = 8
+
+// ICMP is an ICMP echo-family message.
+type ICMP struct {
+	Type    uint8
+	Code    uint8
+	ID      uint16
+	Seq     uint16
+	Payload []byte
+}
+
+// Marshal encodes the message, computing its checksum.
+func (m *ICMP) Marshal() []byte {
+	buf := make([]byte, icmpHeaderLen+len(m.Payload))
+	buf[0] = m.Type
+	buf[1] = m.Code
+	binary.BigEndian.PutUint16(buf[4:6], m.ID)
+	binary.BigEndian.PutUint16(buf[6:8], m.Seq)
+	copy(buf[icmpHeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(buf[2:4], internetChecksum(buf))
+	return buf
+}
+
+// UnmarshalICMP decodes wire bytes, verifying the checksum.
+func UnmarshalICMP(b []byte) (*ICMP, error) {
+	if len(b) < icmpHeaderLen {
+		return nil, fmt.Errorf("%w: icmp needs %d bytes, have %d", ErrTruncated, icmpHeaderLen, len(b))
+	}
+	if internetChecksum(b) != 0 {
+		return nil, fmt.Errorf("packet: icmp checksum mismatch")
+	}
+	m := &ICMP{
+		Type: b[0],
+		Code: b[1],
+		ID:   binary.BigEndian.Uint16(b[4:6]),
+		Seq:  binary.BigEndian.Uint16(b[6:8]),
+	}
+	m.Payload = make([]byte, len(b)-icmpHeaderLen)
+	copy(m.Payload, b[icmpHeaderLen:])
+	return m, nil
+}
+
+// NewICMPEcho builds a full Ethernet/IPv4/ICMP echo frame. Set reply to
+// produce an echo reply instead of a request.
+func NewICMPEcho(srcHW, dstHW MAC, srcIP, dstIP IPv4Addr, id, seq uint16, reply bool) *Ethernet {
+	t := ICMPEchoRequest
+	if reply {
+		t = ICMPEchoReply
+	}
+	icmp := &ICMP{Type: t, ID: id, Seq: seq}
+	ip := &IPv4{TTL: 64, Protocol: ProtoICMP, Src: srcIP, Dst: dstIP, Payload: icmp.Marshal()}
+	return &Ethernet{Dst: dstHW, Src: srcHW, Type: EtherTypeIPv4, Payload: ip.Marshal()}
+}

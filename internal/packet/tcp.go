@@ -1,0 +1,153 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCPFlags is the TCP control-bit field.
+type TCPFlags uint8
+
+// TCP control bits.
+const (
+	TCPFin TCPFlags = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// Has reports whether all bits in f are set.
+func (t TCPFlags) Has(f TCPFlags) bool { return t&f == f }
+
+// String lists the set flags, e.g. "SYN|ACK".
+func (t TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{TCPFin, "FIN"}, {TCPSyn, "SYN"}, {TCPRst, "RST"},
+		{TCPPsh, "PSH"}, {TCPAck, "ACK"}, {TCPUrg, "URG"},
+	}
+	out := ""
+	for _, n := range names {
+		if t.Has(n.bit) {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+const tcpHeaderLen = 20
+
+// TCP is a TCP segment with a 20-byte (option-free) header.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   TCPFlags
+	Window  uint16
+	Payload []byte
+}
+
+// Marshal encodes the segment. The checksum field is computed over the
+// segment alone (the simulation does not need the IPv4 pseudo-header to
+// detect corruption, and omitting it keeps the codec layering clean).
+func (t *TCP) Marshal() []byte {
+	buf := make([]byte, tcpHeaderLen+len(t.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], t.Ack)
+	buf[12] = 5 << 4 // data offset: 5 words
+	buf[13] = byte(t.Flags)
+	binary.BigEndian.PutUint16(buf[14:16], t.Window)
+	copy(buf[tcpHeaderLen:], t.Payload)
+	binary.BigEndian.PutUint16(buf[16:18], internetChecksum(buf))
+	return buf
+}
+
+// UnmarshalTCP decodes wire bytes, verifying the checksum.
+func UnmarshalTCP(b []byte) (*TCP, error) {
+	if len(b) < tcpHeaderLen {
+		return nil, fmt.Errorf("%w: tcp needs %d bytes, have %d", ErrTruncated, tcpHeaderLen, len(b))
+	}
+	offset := int(b[12]>>4) * 4
+	if offset < tcpHeaderLen || offset > len(b) {
+		return nil, fmt.Errorf("%w: tcp data offset %d", ErrTruncated, offset)
+	}
+	if internetChecksum(b) != 0 {
+		return nil, fmt.Errorf("packet: tcp checksum mismatch")
+	}
+	t := &TCP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   TCPFlags(b[13]),
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+	}
+	t.Payload = make([]byte, len(b)-offset)
+	copy(t.Payload, b[offset:])
+	return t, nil
+}
+
+// NewTCPSegment builds a full Ethernet/IPv4/TCP frame.
+func NewTCPSegment(srcHW, dstHW MAC, srcIP, dstIP IPv4Addr, srcPort, dstPort uint16, flags TCPFlags, seq, ack uint32, payload []byte) *Ethernet {
+	seg := &TCP{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack,
+		Flags: flags, Window: 65535, Payload: payload,
+	}
+	ip := &IPv4{TTL: 64, Protocol: ProtoTCP, Src: srcIP, Dst: dstIP, Payload: seg.Marshal()}
+	return &Ethernet{Dst: dstHW, Src: srcHW, Type: EtherTypeIPv4, Payload: ip.Marshal()}
+}
+
+const udpHeaderLen = 8
+
+// UDP is a UDP datagram.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Marshal encodes the datagram.
+func (u *UDP) Marshal() []byte {
+	buf := make([]byte, udpHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(udpHeaderLen+len(u.Payload)))
+	copy(buf[udpHeaderLen:], u.Payload)
+	binary.BigEndian.PutUint16(buf[6:8], internetChecksum(buf))
+	return buf
+}
+
+// UnmarshalUDP decodes wire bytes, verifying length and checksum.
+func UnmarshalUDP(b []byte) (*UDP, error) {
+	if len(b) < udpHeaderLen {
+		return nil, fmt.Errorf("%w: udp needs %d bytes, have %d", ErrTruncated, udpHeaderLen, len(b))
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < udpHeaderLen || length > len(b) {
+		return nil, fmt.Errorf("%w: udp length %d", ErrTruncated, length)
+	}
+	if internetChecksum(b[:length]) != 0 {
+		return nil, fmt.Errorf("packet: udp checksum mismatch")
+	}
+	u := &UDP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+	}
+	u.Payload = make([]byte, length-udpHeaderLen)
+	copy(u.Payload, b[udpHeaderLen:length])
+	return u, nil
+}

@@ -1,0 +1,208 @@
+// Package probe implements the liveness-probe options the paper's
+// attacker chooses between in Table I, with each option's stealth level,
+// prerequisites, and per-invocation tool cost (mean scan time excluding
+// round-trip time, as measured from 1000 nmap scans on the paper's
+// testbed):
+//
+//	ICMP ping      Low stealth        no requirements     0.91 +/- 0.04 ms
+//	TCP SYN        Medium stealth     port known          492.3 +/- 1.4 ms
+//	ARP ping       High stealth       same subnet         133.5 +/- 1.6 ms
+//	TCP idle scan  Very High stealth  suitable zombie     1.8 +/- 0.1 ms
+//
+// It also provides the probe-timeout derivation of Section V-B1: given an
+// RTT distribution and a tolerated false-positive rate, pick the matching
+// quantile.
+package probe
+
+import (
+	"errors"
+	"time"
+
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// Type selects a liveness-probe technique.
+type Type int
+
+// Probe types, in Table I order.
+const (
+	ICMPPing Type = iota + 1
+	TCPSYN
+	ARPPing
+	TCPIdleScan
+)
+
+// String names the probe type as Table I does.
+func (t Type) String() string {
+	switch t {
+	case ICMPPing:
+		return "ICMP Ping"
+	case TCPSYN:
+		return "TCP SYN"
+	case ARPPing:
+		return "ARP ping"
+	case TCPIdleScan:
+		return "TCP Idle Scan"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec is one row of Table I.
+type Spec struct {
+	Type         Type
+	Stealth      string
+	Requirements string
+	// Overhead is the tool's per-scan cost excluding round-trip time.
+	Overhead sim.Sampler
+}
+
+// SpecFor returns the Table I row for a probe type.
+func SpecFor(t Type) Spec {
+	ms := time.Millisecond
+	us := time.Microsecond
+	switch t {
+	case ICMPPing:
+		return Spec{t, "Low", "None", sim.Normal{Mean: 910 * us, Std: 40 * us, Min: 500 * us}}
+	case TCPSYN:
+		return Spec{t, "Medium", "Port Known", sim.Normal{Mean: 492300 * us, Std: 1400 * us, Min: 480 * ms}}
+	case ARPPing:
+		return Spec{t, "High", "Same subnet", sim.Normal{Mean: 133500 * us, Std: 1600 * us, Min: 120 * ms}}
+	case TCPIdleScan:
+		return Spec{t, "Very High", "Suitable zombie", sim.Normal{Mean: 1800 * us, Std: 100 * us, Min: ms}}
+	default:
+		return Spec{Type: t, Stealth: "unknown", Requirements: "unknown", Overhead: sim.Const(0)}
+	}
+}
+
+// Specs returns all Table I rows in order.
+func Specs() []Spec {
+	return []Spec{SpecFor(ICMPPing), SpecFor(TCPSYN), SpecFor(ARPPing), SpecFor(TCPIdleScan)}
+}
+
+// Result is the outcome of one probe invocation.
+type Result struct {
+	// Alive reports whether the target answered (or, for the idle scan,
+	// whether the zombie's IP-ID counter advanced on its behalf).
+	Alive bool
+	// RTT is the network round trip, when directly observable.
+	RTT time.Duration
+	// ToolTime is the sampled per-invocation tool cost.
+	ToolTime time.Duration
+	// Total is tool cost plus network wait.
+	Total time.Duration
+}
+
+// Target identifies the host being probed.
+type Target struct {
+	MAC  packet.MAC
+	IP   packet.IPv4Addr
+	Port uint16 // TCP SYN probes
+}
+
+// Zombie identifies the intermediate host a TCP idle scan bounces off.
+type Zombie struct {
+	MAC  packet.MAC
+	IP   packet.IPv4Addr
+	Port uint16 // any port; closed is fine (RST still carries IP-ID)
+}
+
+// ErrNeedZombie reports an idle scan attempted without a zombie.
+var ErrNeedZombie = errors.New("probe: TCP idle scan requires a zombie")
+
+// Prober runs probes of one type from an attacker-controlled host.
+type Prober struct {
+	kernel *sim.Kernel
+	host   *dataplane.Host
+	spec   Spec
+	zombie *Zombie
+}
+
+// Option configures a Prober.
+type Option func(*Prober)
+
+// WithZombie supplies the idle scan's intermediate host.
+func WithZombie(z Zombie) Option {
+	return func(p *Prober) { p.zombie = &z }
+}
+
+// WithOverhead overrides the tool-cost model (e.g. sim.Const(0) for
+// mechanism-only measurements).
+func WithOverhead(s sim.Sampler) Option {
+	return func(p *Prober) { p.spec.Overhead = s }
+}
+
+// New creates a Prober of the given type.
+func New(kernel *sim.Kernel, host *dataplane.Host, t Type, opts ...Option) *Prober {
+	p := &Prober{kernel: kernel, host: host, spec: SpecFor(t)}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Spec reports the prober's Table I row.
+func (p *Prober) Spec() Spec { return p.spec }
+
+// Probe tests the target's liveness, reporting via cb after the sampled
+// tool overhead plus the network exchange (bounded by timeout). It
+// returns an error only for unsatisfiable configurations.
+func (p *Prober) Probe(target Target, timeout time.Duration, cb func(Result)) error {
+	if p.spec.Type == TCPIdleScan && p.zombie == nil {
+		return ErrNeedZombie
+	}
+	tool := p.spec.Overhead.Sample(p.kernel.Rand())
+	start := p.kernel.Now()
+	finish := func(alive bool, rtt time.Duration) {
+		cb(Result{Alive: alive, RTT: rtt, ToolTime: tool, Total: p.kernel.Now().Sub(start)})
+	}
+	p.kernel.Schedule(tool, func() {
+		switch p.spec.Type {
+		case ICMPPing:
+			p.host.Ping(target.MAC, target.IP, timeout, func(r dataplane.ProbeResult) {
+				finish(r.Alive, r.RTT)
+			})
+		case TCPSYN:
+			p.host.TCPSYNProbe(target.MAC, target.IP, target.Port, timeout, func(r dataplane.ProbeResult) {
+				finish(r.Alive, r.RTT)
+			})
+		case ARPPing:
+			p.host.ARPPing(target.IP, timeout, func(r dataplane.ProbeResult) {
+				finish(r.Alive, r.RTT)
+			})
+		case TCPIdleScan:
+			p.idleScan(target, timeout, finish)
+		default:
+			finish(false, 0)
+		}
+	})
+	return nil
+}
+
+// idleScan implements the three-step zombie bounce: read the zombie's
+// IP-ID, send a SYN to the target spoofed as the zombie, and re-read the
+// IP-ID. An increment of two (the zombie's RST to us plus its RST to the
+// target's unexpected SYN-ACK / RST exchange) means the target is up.
+func (p *Prober) idleScan(target Target, timeout time.Duration, finish func(bool, time.Duration)) {
+	z := *p.zombie
+	p.host.TCPSYNProbe(z.MAC, z.IP, z.Port, timeout, func(first dataplane.ProbeResult) {
+		if !first.Alive {
+			finish(false, 0) // zombie itself unreachable: scan inconclusive
+			return
+		}
+		p.host.SendSpoofedSYN(z.MAC, z.IP, target.MAC, target.IP, 61000, target.Port)
+		// Allow one full exchange target<->zombie before re-reading.
+		p.kernel.Schedule(timeout, func() {
+			p.host.TCPSYNProbe(z.MAC, z.IP, z.Port, timeout, func(second dataplane.ProbeResult) {
+				if !second.Alive {
+					finish(false, 0)
+					return
+				}
+				delta := second.IPID - first.IPID
+				finish(delta >= 2, 0)
+			})
+		})
+	})
+}

@@ -1,0 +1,48 @@
+package probe
+
+import (
+	"time"
+
+	"sdntamper/internal/sim"
+)
+
+// DeriveTimeout computes the probe timeout of Section V-B1: given the RTT
+// distribution and a tolerated false-positive rate, the timeout is the
+// (1 - fpr) quantile of the RTT distribution. With the paper's model —
+// RTT ~ N(20ms, 5ms) and a 1% false-positive budget — this lands near the
+// paper's chosen 35 ms (they round the ~31.6 ms 99th percentile up).
+func DeriveTimeout(rtt sim.Sampler, falsePositiveRate float64, samples int, seed int64) time.Duration {
+	if falsePositiveRate <= 0 {
+		falsePositiveRate = 0.01
+	}
+	if falsePositiveRate >= 1 {
+		falsePositiveRate = 0.99
+	}
+	return sim.Quantile(rtt, 1-falsePositiveRate, samples, seed)
+}
+
+// PaperRTTModel is the network-delay model of Section V-B1: normal with a
+// 20 ms mean and 5 ms standard deviation.
+func PaperRTTModel() sim.Sampler {
+	return sim.Normal{Mean: 20 * time.Millisecond, Std: 5 * time.Millisecond, Min: time.Millisecond}
+}
+
+// PaperTimeout is the timeout the paper selects from that model (35 ms).
+const PaperTimeout = 35 * time.Millisecond
+
+// FalsePositiveRate estimates, by simulation, how often a live host with
+// the given RTT distribution would be misdeclared offline by one probe
+// with the given timeout.
+func FalsePositiveRate(rtt sim.Sampler, timeout time.Duration, trials int, seed int64) float64 {
+	if trials <= 0 {
+		trials = 10000
+	}
+	k := sim.New(sim.WithSeed(seed))
+	misses := 0
+	for i := 0; i < trials; i++ {
+		if rtt.Sample(k.Rand()) > timeout {
+			misses++
+		}
+	}
+	return float64(misses) / float64(trials)
+}

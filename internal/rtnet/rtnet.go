@@ -1,0 +1,165 @@
+// Package rtnet drives the deterministic simulation kernel in real time
+// and bridges it to real TCP OpenFlow connections, so the library's
+// controller (with any of its defense modules) can serve external
+// switch agents as an actual daemon.
+//
+// The kernel stays single-threaded: the Driver owns it on one goroutine,
+// advancing virtual time in lockstep with the wall clock; socket
+// goroutines inject work through a mutex-guarded queue, preserving the
+// kernel's no-concurrency invariant.
+package rtnet
+
+import (
+	"sync"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/ofnet"
+	"sdntamper/internal/sim"
+)
+
+// maxIdleSleep bounds how long the driver sleeps with no scheduled work,
+// so injections are picked up promptly even without an explicit wake.
+const maxIdleSleep = 50 * time.Millisecond
+
+// Driver runs a Kernel against the wall clock.
+type Driver struct {
+	kernel *sim.Kernel
+
+	mu       sync.Mutex
+	injected []func()
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewDriver wraps a kernel. Start begins real-time execution.
+func NewDriver(kernel *sim.Kernel) *Driver {
+	return &Driver{
+		kernel: kernel,
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the drive loop goroutine.
+func (d *Driver) Start() {
+	go d.loop()
+}
+
+// Stop halts the loop and waits for it to exit. Pending injections that
+// never ran are dropped.
+func (d *Driver) Stop() {
+	close(d.stop)
+	<-d.done
+}
+
+// Inject schedules fn to run on the kernel goroutine at the next loop
+// iteration. It is safe to call from any goroutine. Injections run in
+// submission order.
+func (d *Driver) Inject(fn func()) {
+	d.mu.Lock()
+	d.injected = append(d.injected, fn)
+	d.mu.Unlock()
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Call runs fn on the kernel goroutine and waits for it to finish, for
+// read-modify-read interactions from other goroutines.
+func (d *Driver) Call(fn func()) {
+	ran := make(chan struct{})
+	d.Inject(func() {
+		defer close(ran)
+		fn()
+	})
+	<-ran
+}
+
+func (d *Driver) loop() {
+	defer close(d.done)
+	wallStart := time.Now()
+	virtualStart := d.kernel.Now()
+	for {
+		// Run injected work on the kernel goroutine, in order.
+		d.mu.Lock()
+		batch := d.injected
+		d.injected = nil
+		d.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+
+		// Advance virtual time to track the wall clock.
+		target := virtualStart.Add(time.Since(wallStart))
+		if err := d.kernel.RunUntil(target); err != nil {
+			return // event limit tripped: nothing sane to do but stop
+		}
+
+		sleep := maxIdleSleep
+		if next, ok := d.kernel.PeekNext(); ok {
+			if due := next.Sub(target); due < sleep {
+				sleep = due
+			}
+		}
+		if sleep < 0 {
+			sleep = 0
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-d.stop:
+			timer.Stop()
+			return
+		case <-d.wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// ServeController exposes a controller over real TCP: every accepted
+// connection becomes a switch control session. Returns the listening
+// server; shut it down before stopping the driver.
+func ServeController(addr string, ctl *controller.Controller, d *Driver) (*ofnet.Server, error) {
+	return ofnet.Listen(addr, func(conn *ofnet.Conn) {
+		// Outbound frames leave through a buffered channel so the kernel
+		// goroutine never blocks on a slow socket; a full buffer drops,
+		// as a congested control channel would.
+		outbound := make(chan []byte, 256)
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for frame := range outbound {
+				if err := conn.SendRaw(frame); err != nil {
+					return
+				}
+			}
+		}()
+
+		var ctlConn *controller.Conn
+		d.Call(func() {
+			ctlConn = ctl.Connect(func(frame []byte) {
+				buf := make([]byte, len(frame))
+				copy(buf, frame)
+				select {
+				case outbound <- buf:
+				default:
+				}
+			})
+		})
+
+		for {
+			frame, err := conn.ReceiveRaw()
+			if err != nil {
+				break
+			}
+			d.Inject(func() { ctlConn.Handle(frame) })
+		}
+		close(outbound)
+		<-writerDone
+	})
+}

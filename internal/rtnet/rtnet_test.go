@@ -1,0 +1,255 @@
+package rtnet
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/ofnet"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+	"sdntamper/internal/topoguard"
+)
+
+func TestDriverAdvancesVirtualTime(t *testing.T) {
+	k := sim.New()
+	fired := make(chan time.Duration, 1)
+	k.Schedule(30*time.Millisecond, func() { fired <- k.Elapsed() })
+	d := NewDriver(k)
+	d.Start()
+	defer d.Stop()
+	select {
+	case at := <-fired:
+		if at != 30*time.Millisecond {
+			t.Fatalf("fired at virtual %v", at)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("scheduled event never fired in real time")
+	}
+}
+
+func TestDriverInjectOrdering(t *testing.T) {
+	k := sim.New()
+	d := NewDriver(k)
+	d.Start()
+	defer d.Stop()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		d.Inject(func() { got = append(got, i) })
+	}
+	d.Call(func() {}) // barrier
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("injection order broken: %v", got)
+		}
+	}
+}
+
+func TestDriverCallBlocksUntilRun(t *testing.T) {
+	k := sim.New()
+	d := NewDriver(k)
+	d.Start()
+	defer d.Stop()
+	ran := false
+	d.Call(func() { ran = true })
+	if !ran {
+		t.Fatal("Call returned before fn ran")
+	}
+}
+
+func TestDriverStopIdempotentGoroutine(t *testing.T) {
+	k := sim.New()
+	d := NewDriver(k)
+	d.Start()
+	d.Stop()
+	// Injections after stop must not panic (they are simply never run).
+	d.Inject(func() {})
+}
+
+// fakeSwitch speaks the controller handshake over a real socket.
+type fakeSwitch struct {
+	conn *ofnet.Conn
+	dpid uint64
+}
+
+func (f *fakeSwitch) run(t *testing.T, gotLLDP chan<- []byte) {
+	t.Helper()
+	for {
+		xid, m, err := f.conn.Receive()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, ofnet.ErrClosed) {
+				// Connection teardown at test end arrives as a socket error.
+				return
+			}
+			return
+		}
+		switch msg := m.(type) {
+		case *openflow.Hello:
+		case *openflow.FeaturesRequest:
+			reply := &openflow.FeaturesReply{
+				DatapathID: f.dpid,
+				Ports:      []openflow.PortDesc{{No: 1, Name: "eth1", Up: true}},
+			}
+			if err := f.conn.Send(xid, reply); err != nil {
+				return
+			}
+		case *openflow.EchoRequest:
+			if err := f.conn.Send(xid, &openflow.EchoReply{Data: msg.Data}); err != nil {
+				return
+			}
+		case *openflow.PacketOut:
+			// The controller probes our port with LLDP on connect.
+			if eth, err := packet.UnmarshalEthernet(msg.Data); err == nil && eth.Type == packet.EtherTypeLLDP {
+				select {
+				case gotLLDP <- msg.Data:
+				default:
+				}
+			}
+		}
+	}
+}
+
+func TestControllerServesRealSwitchOverTCP(t *testing.T) {
+	k := sim.New()
+	ctl := controller.New(k, controller.WithProfile(controller.POX))
+	defer ctl.Shutdown()
+	tg := topoguard.New()
+	ctl.Register(tg)
+
+	d := NewDriver(k)
+	d.Start()
+	defer d.Stop()
+	srv, err := ServeController("127.0.0.1:0", ctl, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	conn, err := ofnet.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sw := &fakeSwitch{conn: conn, dpid: 0x77}
+	gotLLDP := make(chan []byte, 4)
+	go sw.run(t, gotLLDP)
+
+	// The controller registers the switch after the handshake.
+	deadline := time.After(5 * time.Second)
+	for {
+		var dpids []uint64
+		d.Call(func() { dpids = ctl.Switches() })
+		if len(dpids) == 1 && dpids[0] == 0x77 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("switch never registered; have %v", dpids)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Connect-time LLDP probing reaches the real socket.
+	select {
+	case raw := <-gotLLDP:
+		if _, err := packet.UnmarshalEthernet(raw); err != nil {
+			t.Fatalf("bad LLDP frame: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no LLDP probe arrived over TCP")
+	}
+
+	// A PacketIn from the real switch updates host tracking (and runs
+	// through TopoGuard on the way).
+	hostFrame := packet.NewARPRequest(packet.MustMAC("aa:aa:aa:aa:aa:aa"),
+		packet.MustIPv4("10.0.0.1"), packet.MustIPv4("10.0.0.2")).Marshal()
+	if err := conn.Send(99, &openflow.PacketIn{
+		BufferID: openflow.NoBuffer, InPort: 1, Reason: openflow.ReasonNoMatch, Data: hostFrame,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.After(5 * time.Second)
+	for {
+		var entry controller.HostEntry
+		var ok bool
+		d.Call(func() { entry, ok = ctl.HostByMAC(packet.MustMAC("aa:aa:aa:aa:aa:aa")) })
+		if ok {
+			if entry.Loc != (controller.PortRef{DPID: 0x77, Port: 1}) {
+				t.Fatalf("host loc = %v", entry.Loc)
+			}
+			var prof topoguard.PortType
+			d.Call(func() { prof = tg.Profile(controller.PortRef{DPID: 0x77, Port: 1}) })
+			if prof != topoguard.HostPort {
+				t.Fatalf("profile = %v, want HOST", prof)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("host never tracked from real-TCP PacketIn")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestRealTimeEchoRTT(t *testing.T) {
+	k := sim.New()
+	ctl := controller.New(k, controller.WithProfile(controller.POX))
+	defer ctl.Shutdown()
+	d := NewDriver(k)
+	d.Start()
+	defer d.Stop()
+	srv, err := ServeController("127.0.0.1:0", ctl, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	conn, err := ofnet.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sw := &fakeSwitch{conn: conn, dpid: 0x5}
+	go sw.run(t, make(chan []byte, 1))
+
+	deadline := time.After(5 * time.Second)
+	for {
+		var n int
+		d.Call(func() { n = len(ctl.Switches()) })
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("switch never registered")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	rtt := make(chan time.Duration, 1)
+	d.Inject(func() {
+		ctl.MeasureEchoRTT(0x5, 3*time.Second, func(d time.Duration, ok bool) {
+			if ok {
+				rtt <- d
+			} else {
+				rtt <- -1
+			}
+		})
+	})
+	select {
+	case got := <-rtt:
+		if got <= 0 {
+			t.Fatal("echo over real TCP failed")
+		}
+		if got > time.Second {
+			t.Fatalf("loopback echo RTT = %v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("echo never resolved")
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// buildWorkload schedules a deterministic pseudo-random event tree on a
+// kernel and returns the trace recorder.
+func buildWorkload(k *Kernel, seeds []uint16) *[]time.Duration {
+	trace := &[]time.Duration{}
+	for _, s := range seeds {
+		delay := time.Duration(s%1000) * time.Millisecond
+		depth := int(s % 4)
+		var chain func(left int)
+		chain = func(left int) {
+			*trace = append(*trace, k.Elapsed())
+			if left > 0 {
+				k.Schedule(delay/2+time.Millisecond, func() { chain(left - 1) })
+			}
+		}
+		k.Schedule(delay, func() { chain(depth) })
+	}
+	return trace
+}
+
+// TestStepAndRunUntilEquivalent: executing a workload with Run, with
+// repeated Step, or with arbitrary RunUntil slicing must produce the
+// identical event trace — the kernel's execution order cannot depend on
+// how the caller drives it.
+func TestStepAndRunUntilEquivalent(t *testing.T) {
+	f := func(seeds []uint16, slices []uint8) bool {
+		if len(seeds) == 0 || len(seeds) > 30 {
+			return true
+		}
+		// Reference: Run to completion.
+		k1 := New(WithSeed(1))
+		ref := buildWorkload(k1, seeds)
+		if err := k1.Run(); err != nil {
+			t.Error(err)
+			return false
+		}
+
+		// Step-by-step.
+		k2 := New(WithSeed(1))
+		stepped := buildWorkload(k2, seeds)
+		for k2.Step() {
+		}
+
+		// RunUntil in arbitrary slices, then drain.
+		k3 := New(WithSeed(1))
+		sliced := buildWorkload(k3, seeds)
+		for _, s := range slices {
+			if err := k3.RunFor(time.Duration(s) * 10 * time.Millisecond); err != nil {
+				t.Error(err)
+				return false
+			}
+		}
+		if err := k3.Run(); err != nil {
+			t.Error(err)
+			return false
+		}
+
+		if len(*ref) != len(*stepped) || len(*ref) != len(*sliced) {
+			t.Errorf("trace lengths: run=%d step=%d sliced=%d", len(*ref), len(*stepped), len(*sliced))
+			return false
+		}
+		for i := range *ref {
+			if (*ref)[i] != (*stepped)[i] || (*ref)[i] != (*sliced)[i] {
+				t.Errorf("traces diverge at %d", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekNext(t *testing.T) {
+	k := New()
+	if _, ok := k.PeekNext(); ok {
+		t.Fatal("empty kernel has a next event")
+	}
+	e := k.Schedule(5*time.Millisecond, func() {})
+	next, ok := k.PeekNext()
+	if !ok || !next.Equal(Epoch.Add(5*time.Millisecond)) {
+		t.Fatalf("peek = %v ok=%v", next, ok)
+	}
+	e.Cancel()
+	if _, ok := k.PeekNext(); ok {
+		t.Fatal("canceled event still visible to peek")
+	}
+}
+
+func TestPeekNextDoesNotExecute(t *testing.T) {
+	k := New()
+	fired := false
+	k.Schedule(time.Millisecond, func() { fired = true })
+	k.PeekNext()
+	if fired || k.Executed() != 0 {
+		t.Fatal("peek executed an event")
+	}
+}

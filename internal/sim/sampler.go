@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Sampler produces random durations from some distribution. All latency
+// models in the repository (link delay, ifconfig execution time, probe
+// processing time, micro-bursts) are expressed as Samplers so experiments
+// can swap distributions without touching component code.
+type Sampler interface {
+	Sample(r *rand.Rand) time.Duration
+}
+
+// Const is a degenerate sampler that always returns its value.
+type Const time.Duration
+
+// Sample implements Sampler.
+func (c Const) Sample(*rand.Rand) time.Duration { return time.Duration(c) }
+
+// Normal samples a normal distribution clipped below at Min. The paper
+// models enterprise-network RTT as N(20ms, 5ms) in Section V-B1.
+type Normal struct {
+	Mean time.Duration
+	Std  time.Duration
+	Min  time.Duration
+}
+
+// Sample implements Sampler.
+func (n Normal) Sample(r *rand.Rand) time.Duration {
+	d := time.Duration(float64(n.Mean) + r.NormFloat64()*float64(n.Std))
+	if d < n.Min {
+		d = n.Min
+	}
+	return d
+}
+
+// Uniform samples uniformly from [Lo, Hi].
+type Uniform struct {
+	Lo time.Duration
+	Hi time.Duration
+}
+
+// Sample implements Sampler.
+func (u Uniform) Sample(r *rand.Rand) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(r.Int63n(int64(u.Hi-u.Lo)+1))
+}
+
+// LogNormal samples exp(N(Mu, Sigma)) seconds, shifted by Shift. Heavy
+// right tails such as the ifconfig identifier-change time in Figure 4 are
+// modeled with it.
+type LogNormal struct {
+	Mu    float64 // log of the scale, in log-seconds
+	Sigma float64
+	Shift time.Duration
+}
+
+// Sample implements Sampler.
+func (l LogNormal) Sample(r *rand.Rand) time.Duration {
+	secs := math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+	return l.Shift + time.Duration(secs*float64(time.Second))
+}
+
+// Mixture samples from one of several component samplers according to
+// their weights. Useful for "mostly fast, occasionally very slow"
+// behaviours such as the heavy-tailed ifconfig timing.
+type Mixture struct {
+	Components []Sampler
+	Weights    []float64
+}
+
+// Sample implements Sampler. With mismatched or empty configuration it
+// returns zero rather than panicking inside the event loop.
+func (m Mixture) Sample(r *rand.Rand) time.Duration {
+	if len(m.Components) == 0 || len(m.Components) != len(m.Weights) {
+		return 0
+	}
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range m.Weights {
+		x -= w
+		if x <= 0 {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+// Burst wraps a base sampler and, with probability P, adds an extra delay
+// drawn from Extra. It models the latency micro-bursts seen on the
+// testbed's switch links in Figure 10 (base ~5ms, occasional ~12ms).
+type Burst struct {
+	Base  Sampler
+	Extra Sampler
+	P     float64
+}
+
+// Sample implements Sampler.
+func (b Burst) Sample(r *rand.Rand) time.Duration {
+	d := b.Base.Sample(r)
+	if b.Extra != nil && r.Float64() < b.P {
+		d += b.Extra.Sample(r)
+	}
+	return d
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the sampler's
+// distribution, estimated from n draws using a dedicated RNG seeded with
+// seed. The paper's attacker derives its probe timeout this way: measure
+// RTTs, then pick the quantile matching the tolerated false-positive rate.
+func Quantile(s Sampler, q float64, n int, seed int64) time.Duration {
+	if n <= 0 {
+		n = 1000
+	}
+	r := rand.New(rand.NewSource(seed))
+	draws := make([]time.Duration, n)
+	for i := range draws {
+		draws[i] = s.Sample(r)
+	}
+	sort.Slice(draws, func(i, j int) bool { return draws[i] < draws[j] })
+	if q <= 0 {
+		return draws[0]
+	}
+	if q >= 1 {
+		return draws[n-1]
+	}
+	idx := int(q * float64(n-1))
+	return draws[idx]
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstSampler(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c := Const(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if got := c.Sample(r); got != 5*time.Millisecond {
+			t.Fatalf("Const.Sample = %v", got)
+		}
+	}
+}
+
+func TestNormalSamplerMoments(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := Normal{Mean: 20 * time.Millisecond, Std: 5 * time.Millisecond}
+	const trials = 20000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := float64(n.Sample(r)) / float64(time.Millisecond)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if mean < 19.5 || mean > 20.5 {
+		t.Fatalf("mean = %.3fms, want ~20ms", mean)
+	}
+	if variance < 20 || variance > 30 {
+		t.Fatalf("variance = %.3f, want ~25", variance)
+	}
+}
+
+func TestNormalSamplerClipsAtMin(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := Normal{Mean: time.Millisecond, Std: 10 * time.Millisecond, Min: 0}
+	for i := 0; i < 1000; i++ {
+		if n.Sample(r) < 0 {
+			t.Fatal("sample below Min")
+		}
+	}
+}
+
+func TestUniformSamplerBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	u := Uniform{Lo: 8 * time.Millisecond, Hi: 24 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := u.Sample(r)
+		if d < u.Lo || d > u.Hi {
+			t.Fatalf("sample %v outside [%v, %v]", d, u.Lo, u.Hi)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	u := Uniform{Lo: 5 * time.Millisecond, Hi: 5 * time.Millisecond}
+	if got := u.Sample(r); got != 5*time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", got)
+	}
+}
+
+func TestLogNormalPositiveAndShifted(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	l := LogNormal{Mu: -5, Sigma: 0.5, Shift: 2 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if d := l.Sample(r); d < 2*time.Millisecond {
+			t.Fatalf("sample %v below shift", d)
+		}
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	m := Mixture{
+		Components: []Sampler{Const(time.Millisecond), Const(time.Second)},
+		Weights:    []float64{0.9, 0.1},
+	}
+	slow := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if m.Sample(r) == time.Second {
+			slow++
+		}
+	}
+	frac := float64(slow) / trials
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("slow fraction = %.3f, want ~0.10", frac)
+	}
+}
+
+func TestMixtureDegenerateConfigs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cases := []Mixture{
+		{},
+		{Components: []Sampler{Const(1)}, Weights: []float64{1, 2}},
+		{Components: []Sampler{Const(1)}, Weights: []float64{0}},
+	}
+	for i, m := range cases {
+		if got := m.Sample(r); got != 0 {
+			t.Fatalf("case %d: degenerate mixture = %v, want 0", i, got)
+		}
+	}
+}
+
+func TestBurstSampler(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	b := Burst{Base: Const(5 * time.Millisecond), Extra: Const(7 * time.Millisecond), P: 0.05}
+	bursts := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		d := b.Sample(r)
+		switch d {
+		case 5 * time.Millisecond:
+		case 12 * time.Millisecond:
+			bursts++
+		default:
+			t.Fatalf("unexpected sample %v", d)
+		}
+	}
+	frac := float64(bursts) / trials
+	if frac < 0.03 || frac > 0.07 {
+		t.Fatalf("burst fraction = %.3f, want ~0.05", frac)
+	}
+}
+
+func TestQuantileOfNormalMatchesTheory(t *testing.T) {
+	n := Normal{Mean: 20 * time.Millisecond, Std: 5 * time.Millisecond}
+	// 99th percentile of N(20, 5) is ~31.6ms; the paper rounds its probe
+	// timeout up to 35ms from this computation.
+	q := Quantile(n, 0.99, 50000, 11)
+	if q < 30*time.Millisecond || q > 34*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~31.6ms", q)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	s := Const(7 * time.Millisecond)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := Quantile(s, q, 10, 1); got != 7*time.Millisecond {
+			t.Fatalf("quantile(%v) = %v", q, got)
+		}
+	}
+	if got := Quantile(s, 0.5, 0, 1); got != 7*time.Millisecond {
+		t.Fatalf("quantile with n=0 = %v", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	n := Normal{Mean: 20 * time.Millisecond, Std: 5 * time.Millisecond}
+	f := func(a, b uint8) bool {
+		qa := float64(a%101) / 100
+		qb := float64(b%101) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(n, qa, 2000, 5) <= Quantile(n, qb, 2000, 5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

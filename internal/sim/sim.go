@@ -1,0 +1,279 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All network components in this repository are driven by a single Kernel:
+// they schedule callbacks at virtual times, and the kernel executes them in
+// strict (time, sequence) order on one goroutine. Runs are reproducible
+// bit-for-bit for a fixed seed, and thousands of simulated seconds execute
+// in milliseconds of wall time, which is what makes the paper's
+// latency-distribution experiments (Figures 4-8, 10-11) practical to
+// regenerate on a laptop.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the default virtual start-of-time for a Kernel. The specific
+// date is arbitrary (the paper's publication venue date); only differences
+// between instants matter.
+var Epoch = time.Date(2018, time.June, 25, 0, 0, 0, 0, time.UTC)
+
+// ErrEventLimit is returned by the run methods when the kernel executes
+// more events than its configured limit, which almost always indicates a
+// runaway self-rescheduling component.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at       time.Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event's callback from running. Canceling an event
+// that already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Time reports the virtual time at which the event fires.
+func (e *Event) Time() time.Time { return e.at }
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event simulation engine. It is not safe for
+// concurrent use: all components sharing a Kernel must run on the kernel's
+// event loop.
+type Kernel struct {
+	now        time.Time
+	queue      eventQueue
+	seq        uint64
+	rng        *rand.Rand
+	executed   uint64
+	eventLimit uint64
+}
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithSeed sets the kernel RNG seed. The default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(k *Kernel) { k.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithEpoch sets the virtual time at which the simulation begins.
+func WithEpoch(t time.Time) Option {
+	return func(k *Kernel) { k.now = t }
+}
+
+// WithEventLimit bounds the total number of events a kernel will execute
+// across all run calls. The default is 50 million.
+func WithEventLimit(n uint64) Option {
+	return func(k *Kernel) { k.eventLimit = n }
+}
+
+// New creates a Kernel positioned at the epoch with an empty event queue.
+func New(opts ...Option) *Kernel {
+	k := &Kernel{
+		now:        Epoch,
+		rng:        rand.New(rand.NewSource(1)),
+		eventLimit: 50_000_000,
+	}
+	for _, opt := range opts {
+		opt(k)
+	}
+	return k
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() time.Time { return k.now }
+
+// Elapsed reports virtual time elapsed since the epoch.
+func (k *Kernel) Elapsed() time.Duration { return k.now.Sub(Epoch) }
+
+// Rand exposes the kernel's deterministic random source. Components must
+// draw all randomness from it to keep runs reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Pending reports the number of events waiting in the queue, including
+// canceled events that have not yet been discarded.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Executed reports the total number of events run so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Schedule runs fn after virtual delay d. A negative delay is treated as
+// zero. Events scheduled for the same instant run in scheduling order.
+func (k *Kernel) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.ScheduleAt(k.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at virtual time t. Times in the past are clamped to
+// the current instant.
+func (k *Kernel) ScheduleAt(t time.Time, fn func()) *Event {
+	if t.Before(k.now) {
+		t = k.now
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Step executes the single next event. It returns false when the queue
+// holds no runnable events.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e, ok := heap.Pop(&k.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		k.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the event limit trips.
+func (k *Kernel) Run() error {
+	for {
+		if k.executed >= k.eventLimit {
+			return fmt.Errorf("%w after %d events", ErrEventLimit, k.executed)
+		}
+		if !k.Step() {
+			return nil
+		}
+	}
+}
+
+// RunFor executes events for virtual duration d, then stops with the clock
+// advanced to exactly now+d (even if the queue drained earlier).
+func (k *Kernel) RunFor(d time.Duration) error {
+	return k.RunUntil(k.now.Add(d))
+}
+
+// RunUntil executes events with firing times at or before deadline, then
+// advances the clock to exactly the deadline.
+func (k *Kernel) RunUntil(deadline time.Time) error {
+	for {
+		if k.executed >= k.eventLimit {
+			return fmt.Errorf("%w after %d events", ErrEventLimit, k.executed)
+		}
+		next, ok := k.peek()
+		if !ok || next.After(deadline) {
+			if deadline.After(k.now) {
+				k.now = deadline
+			}
+			return nil
+		}
+		k.Step()
+	}
+}
+
+// PeekNext reports the firing time of the next runnable event, if any.
+// Real-time drivers use it to sleep exactly until work is due.
+func (k *Kernel) PeekNext() (time.Time, bool) { return k.peek() }
+
+func (k *Kernel) peek() (time.Time, bool) {
+	for len(k.queue) > 0 {
+		if k.queue[0].canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return k.queue[0].at, true
+	}
+	return time.Time{}, false
+}
+
+// Ticker fires a callback at a fixed virtual interval until stopped.
+type Ticker struct {
+	kernel   *Kernel
+	interval time.Duration
+	fn       func()
+	pending  *Event
+	stopped  bool
+}
+
+// NewTicker schedules fn every interval, with the first firing one full
+// interval from now. It panics if interval is not positive, mirroring
+// time.NewTicker.
+func (k *Kernel) NewTicker(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	t := &Ticker{kernel: k, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.kernel.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels all future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.pending != nil {
+		t.pending.Cancel()
+	}
+}

@@ -1,0 +1,239 @@
+package sphinx_test
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/controllertest"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sphinx"
+)
+
+var (
+	portA = controller.PortRef{DPID: 1, Port: 1}
+	portB = controller.PortRef{DPID: 2, Port: 1}
+	macH  = packet.MustMAC("aa:aa:aa:aa:aa:aa")
+	macI  = packet.MustMAC("bb:bb:bb:bb:bb:bb")
+	ipH   = packet.MustIPv4("10.0.0.1")
+)
+
+func newSphinx(t *testing.T) (*sphinx.Sphinx, *controllertest.FakeAPI) {
+	t.Helper()
+	api := controllertest.New()
+	s := sphinx.New(sphinx.DefaultConfig())
+	s.Bind(api)
+	return s, api
+}
+
+func arpEvent(api *controllertest.FakeAPI, loc controller.PortRef, src packet.MAC, ip packet.IPv4Addr) *controller.PacketInEvent {
+	eth := packet.NewARPRequest(src, ip, packet.MustIPv4("10.0.0.9"))
+	return &controller.PacketInEvent{
+		DPID: loc.DPID, InPort: loc.Port,
+		Eth: eth, Data: eth.Marshal(),
+		Fields: openflow.ExtractFields(loc.Port, eth.Marshal()),
+		When:   api.Now(),
+	}
+}
+
+func TestFirstBindingSilent(t *testing.T) {
+	s, api := newSphinx(t)
+	if !s.InterceptPacketIn(arpEvent(api, portA, macH, ipH)) {
+		t.Fatal("sphinx must never block")
+	}
+	if len(api.AlertsRaised) != 0 {
+		t.Fatal("first binding alerted")
+	}
+}
+
+func TestSimultaneousBindingAlerts(t *testing.T) {
+	s, api := newSphinx(t)
+	s.InterceptPacketIn(arpEvent(api, portA, macH, ipH))
+	api.Kernel.RunFor(time.Second) // still inside the 5s binding window
+	s.InterceptPacketIn(arpEvent(api, portB, macH, ipH))
+	if api.AlertCount(sphinx.ReasonMultiBinding) != 1 {
+		t.Fatal("simultaneous MAC binding not alerted")
+	}
+}
+
+func TestStaleBindingMoveSilent(t *testing.T) {
+	s, api := newSphinx(t)
+	s.InterceptPacketIn(arpEvent(api, portA, macH, ipH))
+	api.Kernel.RunFor(10 * time.Second) // window expired: looks like a real move
+	s.InterceptPacketIn(arpEvent(api, portB, macH, ipH))
+	if api.AlertCount(sphinx.ReasonMultiBinding) != 0 {
+		t.Fatal("stale move alerted")
+	}
+}
+
+func TestPortDownAgesBindingOut(t *testing.T) {
+	s, api := newSphinx(t)
+	s.InterceptPacketIn(arpEvent(api, portA, macH, ipH))
+	s.ObservePortStatus(&controller.PortStatusEvent{
+		DPID: portA.DPID,
+		Status: &openflow.PortStatus{
+			Reason: openflow.PortReasonModify,
+			Desc:   openflow.PortDesc{No: portA.Port, Up: false},
+		},
+		When: api.Now(),
+	})
+	// Immediately rebinding elsewhere is now a legitimate migration.
+	s.InterceptPacketIn(arpEvent(api, portB, macH, ipH))
+	if api.AlertCount(sphinx.ReasonMultiBinding) != 0 {
+		t.Fatal("migration after Port-Down alerted")
+	}
+}
+
+func TestIPMACConflictAlerts(t *testing.T) {
+	s, api := newSphinx(t)
+	s.InterceptPacketIn(arpEvent(api, portA, macH, ipH))
+	api.Kernel.RunFor(time.Second)
+	s.InterceptPacketIn(arpEvent(api, portB, macI, ipH)) // same IP, other MAC
+	if api.AlertCount(sphinx.ReasonIPMACConflict) != 1 {
+		t.Fatal("IP/MAC conflict not alerted")
+	}
+}
+
+func TestTransitPortsIgnored(t *testing.T) {
+	s, api := newSphinx(t)
+	s.InterceptPacketIn(arpEvent(api, portA, macH, ipH))
+	api.LinkSet[portB] = true // portB is an inter-switch link
+	api.Kernel.RunFor(time.Second)
+	s.InterceptPacketIn(arpEvent(api, portB, macH, ipH))
+	if api.AlertCount(sphinx.ReasonMultiBinding) != 0 {
+		t.Fatal("transit traffic on link port alerted")
+	}
+}
+
+func TestLLDPIgnored(t *testing.T) {
+	s, api := newSphinx(t)
+	ev := arpEvent(api, portA, macH, ipH)
+	ev.IsLLDP = true
+	s.InterceptPacketIn(ev)
+	if len(api.AlertsRaised) != 0 {
+		t.Fatal("LLDP inspected by sphinx bindings")
+	}
+}
+
+func TestNewLinkTrusted(t *testing.T) {
+	s, api := newSphinx(t)
+	s.ObserveLink(&controller.LinkEvent{Link: controller.Link{Src: portA, Dst: portB}, IsNew: true})
+	if len(api.AlertsRaised) != 0 {
+		t.Fatal("new link alerted (SPHINX implicitly trusts new links)")
+	}
+}
+
+func TestLinkEndpointChangeAlerts(t *testing.T) {
+	s, api := newSphinx(t)
+	other := controller.PortRef{DPID: 3, Port: 1}
+	s.ObserveLink(&controller.LinkEvent{Link: controller.Link{Src: portA, Dst: portB}})
+	s.ObserveLink(&controller.LinkEvent{Link: controller.Link{Src: portA, Dst: other}})
+	if api.AlertCount(sphinx.ReasonLinkChanged) != 1 {
+		t.Fatal("link endpoint change not alerted")
+	}
+	// Refreshing the same link is silent.
+	s.ObserveLink(&controller.LinkEvent{Link: controller.Link{Src: portA, Dst: other}})
+	if api.AlertCount(sphinx.ReasonLinkChanged) != 1 {
+		t.Fatal("refresh alerted")
+	}
+}
+
+func flowStats(dst packet.MAC, bytes uint64) openflow.FlowStats {
+	return openflow.FlowStats{
+		Match: openflow.Match{
+			Wildcards: openflow.WildAll &^ openflow.WildEthDst,
+			Fields:    openflow.Fields{EthDst: dst},
+		},
+		Priority: 10,
+		Bytes:    bytes,
+	}
+}
+
+func TestFlowConsistencyQuietWhenCountersAgree(t *testing.T) {
+	s, api := newSphinx(t)
+	api.SwitchIDs = []uint64{1, 2}
+	fm := &openflow.FlowMod{Command: openflow.FlowAdd, Match: flowStats(macH, 0).Match, Priority: 10}
+	s.ObserveFlowMod(1, fm)
+	s.ObserveFlowMod(2, fm)
+	api.FlowStatsByDPID[1] = []openflow.FlowStats{flowStats(macH, 100000)}
+	api.FlowStatsByDPID[2] = []openflow.FlowStats{flowStats(macH, 99000)} // in-flight slack
+	done := false
+	s.CheckFlowConsistency(func() { done = true })
+	if err := api.Kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("check never completed")
+	}
+	if api.AlertCount(sphinx.ReasonFlowInconsistent) != 0 {
+		t.Fatal("consistent counters alerted")
+	}
+}
+
+func TestFlowConsistencyAlertsOnDivergence(t *testing.T) {
+	s, api := newSphinx(t)
+	api.SwitchIDs = []uint64{1, 2}
+	fm := &openflow.FlowMod{Command: openflow.FlowAdd, Match: flowStats(macH, 0).Match, Priority: 10}
+	s.ObserveFlowMod(1, fm)
+	s.ObserveFlowMod(2, fm)
+	api.FlowStatsByDPID[1] = []openflow.FlowStats{flowStats(macH, 100000)}
+	api.FlowStatsByDPID[2] = []openflow.FlowStats{flowStats(macH, 10000)} // blackhole downstream
+	s.CheckFlowConsistency(nil)
+	if err := api.Kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if api.AlertCount(sphinx.ReasonFlowInconsistent) != 1 {
+		t.Fatal("diverging counters not alerted")
+	}
+}
+
+func TestFlowConsistencySingleWaypointSilent(t *testing.T) {
+	s, api := newSphinx(t)
+	api.SwitchIDs = []uint64{1}
+	fm := &openflow.FlowMod{Command: openflow.FlowAdd, Match: flowStats(macH, 0).Match, Priority: 10}
+	s.ObserveFlowMod(1, fm)
+	api.FlowStatsByDPID[1] = []openflow.FlowStats{flowStats(macH, 12345)}
+	s.CheckFlowConsistency(nil)
+	if err := api.Kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(api.AlertsRaised) != 0 {
+		t.Fatal("single-waypoint flow alerted")
+	}
+}
+
+func TestFlowConsistencyNoSwitches(t *testing.T) {
+	s, _ := newSphinx(t)
+	done := false
+	s.CheckFlowConsistency(func() { done = true })
+	if !done {
+		t.Fatal("empty check should complete synchronously")
+	}
+}
+
+func TestStartStopPolling(t *testing.T) {
+	s, api := newSphinx(t)
+	api.SwitchIDs = []uint64{1}
+	s.Start()
+	s.Start() // idempotent
+	if err := api.Kernel.RunFor(12 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	executed := api.Kernel.Executed()
+	if err := api.Kernel.RunFor(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// After Stop, only the already-scheduled canceled event may remain.
+	if api.Kernel.Executed() > executed+2 {
+		t.Fatal("polling continued after Stop")
+	}
+}
+
+func TestModuleName(t *testing.T) {
+	s, _ := newSphinx(t)
+	if s.ModuleName() != "SPHINX" {
+		t.Fatalf("name = %q", s.ModuleName())
+	}
+}

@@ -1,0 +1,245 @@
+// Package stats provides the small statistical toolkit the experiments and
+// the Link Latency Inspector rely on: streaming moments, quantiles,
+// interquartile-range outlier thresholds, fixed-size sample windows, and
+// text histograms for figure regeneration.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Welford accumulates streaming mean and variance using Welford's
+// algorithm, which is numerically stable over long runs.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N reports the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean reports the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the sample variance (n-1 denominator).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// DurationSeries collects durations and answers distributional queries.
+// It is the workhorse for regenerating the paper's CDF figures.
+type DurationSeries struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add appends one observation.
+func (s *DurationSeries) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *DurationSeries) N() int { return len(s.samples) }
+
+// Samples returns a copy of the raw observations in insertion order.
+func (s *DurationSeries) Samples() []time.Duration {
+	out := make([]time.Duration, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+func (s *DurationSeries) ensureSorted() {
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+}
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (s *DurationSeries) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Std reports the sample standard deviation.
+func (s *DurationSeries) Std() time.Duration {
+	if len(s.samples) < 2 {
+		return 0
+	}
+	var w Welford
+	for _, d := range s.samples {
+		w.Add(float64(d))
+	}
+	return time.Duration(w.Std())
+}
+
+// Min reports the smallest observation, or 0 with none.
+func (s *DurationSeries) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max reports the largest observation, or 0 with none.
+func (s *DurationSeries) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// Quantile reports the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics, or 0 with no observations.
+func (s *DurationSeries) Quantile(q float64) time.Duration {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return s.samples[lo] + time.Duration(frac*float64(s.samples[hi]-s.samples[lo]))
+}
+
+// IQRThreshold reports Q3 + k*(Q3-Q1), the Tukey-style outlier bound the
+// Link Latency Inspector uses with k=3 (Section VI-D).
+func (s *DurationSeries) IQRThreshold(k float64) time.Duration {
+	q1 := s.Quantile(0.25)
+	q3 := s.Quantile(0.75)
+	return q3 + time.Duration(k*float64(q3-q1))
+}
+
+// Summary is a one-line digest of a series.
+func (s *DurationSeries) Summary() string {
+	return fmt.Sprintf("n=%d mean=%s std=%s min=%s p50=%s p99=%s max=%s",
+		s.N(), s.Mean(), s.Std(), s.Min(), s.Quantile(0.5), s.Quantile(0.99), s.Max())
+}
+
+// Histogram renders a fixed-width text histogram with the given bucket
+// count, used by the benchmark harness to print figure-shaped output.
+func (s *DurationSeries) Histogram(buckets int) string {
+	if len(s.samples) == 0 || buckets <= 0 {
+		return "(no samples)"
+	}
+	s.ensureSorted()
+	lo, hi := s.samples[0], s.samples[len(s.samples)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, buckets)
+	width := (hi - lo) / time.Duration(buckets)
+	if width <= 0 {
+		width = 1
+	}
+	for _, d := range s.samples {
+		idx := int((d - lo) / width)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		counts[idx]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		bucketLo := lo + time.Duration(i)*width
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*50/maxCount)
+		}
+		fmt.Fprintf(&b, "%12s | %-50s %d\n", bucketLo.Round(10*time.Microsecond), bar, c)
+	}
+	return b.String()
+}
+
+// Window is a fixed-capacity FIFO store of durations. The LLI maintains
+// one per switch link so that old latency measurements age out and the
+// threshold tracks current conditions.
+type Window struct {
+	cap     int
+	samples []time.Duration
+	next    int
+	full    bool
+}
+
+// NewWindow creates a window holding at most capacity samples; a
+// non-positive capacity is treated as 1.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Window{cap: capacity, samples: make([]time.Duration, 0, capacity)}
+}
+
+// Add inserts an observation, evicting the oldest when full.
+func (w *Window) Add(d time.Duration) {
+	if len(w.samples) < w.cap {
+		w.samples = append(w.samples, d)
+		return
+	}
+	w.full = true
+	w.samples[w.next] = d
+	w.next = (w.next + 1) % w.cap
+}
+
+// N reports how many samples the window currently holds.
+func (w *Window) N() int { return len(w.samples) }
+
+// Full reports whether the window has wrapped at least once.
+func (w *Window) Full() bool { return w.full || len(w.samples) == w.cap }
+
+// Series copies the window contents into a DurationSeries for analysis.
+func (w *Window) Series() *DurationSeries {
+	s := &DurationSeries{samples: make([]time.Duration, len(w.samples))}
+	copy(s.samples, w.samples)
+	return s
+}
+
+// IQRThreshold is a convenience proxy for Series().IQRThreshold(k).
+func (w *Window) IQRThreshold(k float64) time.Duration {
+	return w.Series().IQRThreshold(k)
+}

@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordAgainstDirectComputation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64()*3 + 10
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-6 {
+		t.Fatalf("variance = %v, want %v", w.Variance(), variance)
+	}
+	if w.N() != 1000 {
+		t.Fatalf("n = %d", w.N())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford should be all zeros")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Variance() != 0 {
+		t.Fatalf("single-sample Welford: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestSeriesMeanStd(t *testing.T) {
+	var s DurationSeries
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		s.Add(d * time.Millisecond)
+	}
+	if got := s.Mean(); got != 30*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	// Sample std of {10..50 step 10} is sqrt(250) ~ 15.81.
+	std := float64(s.Std()) / float64(time.Millisecond)
+	if math.Abs(std-15.811) > 0.01 {
+		t.Fatalf("std = %v ms", std)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s DurationSeries
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	if got := s.Histogram(10); got != "(no samples)" {
+		t.Fatalf("histogram of empty = %q", got)
+	}
+}
+
+func TestSeriesQuantiles(t *testing.T) {
+	var s DurationSeries
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+		{0.5, 50*time.Millisecond + 500*time.Microsecond},
+		{0.25, 25*time.Millisecond + 750*time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Fatalf("q%.2f = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSeriesAddAfterQuery(t *testing.T) {
+	var s DurationSeries
+	s.Add(3 * time.Millisecond)
+	s.Add(1 * time.Millisecond)
+	if got := s.Min(); got != time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	s.Add(500 * time.Microsecond) // forces re-sort
+	if got := s.Min(); got != 500*time.Microsecond {
+		t.Fatalf("min after add = %v", got)
+	}
+}
+
+func TestSamplesReturnsCopy(t *testing.T) {
+	var s DurationSeries
+	s.Add(time.Millisecond)
+	cp := s.Samples()
+	cp[0] = 0
+	if s.Samples()[0] != time.Millisecond {
+		t.Fatal("Samples() leaked internal state")
+	}
+}
+
+func TestIQRThreshold(t *testing.T) {
+	var s DurationSeries
+	for i := 1; i <= 101; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	q1 := s.Quantile(0.25)
+	q3 := s.Quantile(0.75)
+	want := q3 + time.Duration(3*float64(q3-q1))
+	if got := s.IQRThreshold(3); got != want {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+}
+
+func TestQuantileMonotonicityProperty(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s DurationSeries
+		for _, v := range raw {
+			s.Add(time.Duration(v) * time.Microsecond)
+		}
+		qa := float64(a%101) / 100
+		qb := float64(b%101) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileWithinRangeProperty(t *testing.T) {
+	f := func(raw []uint16, q uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s DurationSeries
+		for _, v := range raw {
+			s.Add(time.Duration(v) * time.Microsecond)
+		}
+		got := s.Quantile(float64(q%101) / 100)
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramShape(t *testing.T) {
+	var s DurationSeries
+	for i := 0; i < 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	h := s.Histogram(10)
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("histogram lines = %d, want 10", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "|") {
+			t.Fatalf("malformed histogram line %q", l)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	var s DurationSeries
+	s.Add(time.Millisecond)
+	s.Add(time.Millisecond)
+	if got := s.Histogram(5); got == "(no samples)" {
+		t.Fatal("single-value histogram should render")
+	}
+	if got := s.Histogram(0); got != "(no samples)" {
+		t.Fatalf("zero-bucket histogram = %q", got)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	for i := 1; i <= 5; i++ {
+		w.Add(time.Duration(i) * time.Millisecond)
+	}
+	if w.N() != 3 {
+		t.Fatalf("n = %d, want 3", w.N())
+	}
+	if !w.Full() {
+		t.Fatal("window should be full")
+	}
+	series := w.Series()
+	if series.Min() != 3*time.Millisecond || series.Max() != 5*time.Millisecond {
+		t.Fatalf("window contents wrong: min=%v max=%v", series.Min(), series.Max())
+	}
+}
+
+func TestWindowNotFullInitially(t *testing.T) {
+	w := NewWindow(10)
+	w.Add(time.Millisecond)
+	if w.Full() {
+		t.Fatal("window should not be full")
+	}
+	if w.N() != 1 {
+		t.Fatalf("n = %d", w.N())
+	}
+}
+
+func TestWindowNonPositiveCapacity(t *testing.T) {
+	w := NewWindow(0)
+	w.Add(1)
+	w.Add(2)
+	if w.N() != 1 {
+		t.Fatalf("n = %d, want 1 (capacity clamped)", w.N())
+	}
+}
+
+func TestWindowFIFOProperty(t *testing.T) {
+	f := func(values []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%20) + 1
+		w := NewWindow(capacity)
+		for _, v := range values {
+			w.Add(time.Duration(v))
+		}
+		want := len(values)
+		if want > capacity {
+			want = capacity
+		}
+		return w.N() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowIQRThresholdMatchesSeries(t *testing.T) {
+	w := NewWindow(50)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		w.Add(time.Duration(r.Intn(1000)) * time.Microsecond)
+	}
+	if w.IQRThreshold(3) != w.Series().IQRThreshold(3) {
+		t.Fatal("window threshold should proxy series threshold")
+	}
+}
+
+func TestSummaryIncludesFields(t *testing.T) {
+	var s DurationSeries
+	s.Add(time.Millisecond)
+	sum := s.Summary()
+	for _, field := range []string{"n=1", "mean=", "std=", "p99="} {
+		if !strings.Contains(sum, field) {
+			t.Fatalf("summary %q missing %q", sum, field)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package tgplus
+
+import (
+	"fmt"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/sim"
+	"sdntamper/internal/stats"
+)
+
+// controlEstimate tracks a switch's control-link latency as the average of
+// the latest three probe RTTs, halved to a one-way figure (Section VI-D).
+type controlEstimate struct {
+	window *stats.Window
+}
+
+func (e *controlEstimate) oneWay() (time.Duration, bool) {
+	if e == nil || e.window.N() == 0 {
+		return 0, false
+	}
+	return e.window.Series().Mean() / 2, true
+}
+
+// LLI is the Link Latency Inspector.
+type LLI struct {
+	api controller.API
+	cfg LLIConfig
+
+	control map[uint64]*controlEstimate
+	// window is the fixed-size store of verified switch-link latencies.
+	// It is global across links (as in the paper's design): a freshly
+	// fabricated link is judged against the latency history of the real
+	// links, not against its own attack-supplied measurements.
+	window  *stats.Window
+	samples []LatencySample
+
+	probeEvent *sim.Event
+	started    bool
+}
+
+// NewLLI creates a Link Latency Inspector. Call Start after registration
+// to begin control-link probing.
+func NewLLI(cfg LLIConfig) *LLI {
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 100
+	}
+	if cfg.IQRMultiplier <= 0 {
+		cfg.IQRMultiplier = 3
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 10
+	}
+	if cfg.ControlSamples <= 0 {
+		cfg.ControlSamples = 3
+	}
+	if cfg.ControlProbeInterval <= 0 {
+		cfg.ControlProbeInterval = 2 * time.Second
+	}
+	if cfg.ControlProbeTimeout <= 0 {
+		cfg.ControlProbeTimeout = 2 * time.Second
+	}
+	return &LLI{
+		cfg:     cfg,
+		control: make(map[uint64]*controlEstimate),
+		window:  stats.NewWindow(cfg.WindowSize),
+	}
+}
+
+var (
+	_ controller.SecurityModule = (*LLI)(nil)
+	_ controller.Binder         = (*LLI)(nil)
+	_ controller.LinkApprover   = (*LLI)(nil)
+)
+
+// ModuleName implements controller.SecurityModule.
+func (l *LLI) ModuleName() string { return lliName }
+
+// Bind implements controller.Binder.
+func (l *LLI) Bind(api controller.API) { l.api = api }
+
+// Start begins periodic control-link RTT probing of every connected
+// switch. Stop halts it.
+func (l *LLI) Start() {
+	if l.started || l.api == nil {
+		return
+	}
+	l.started = true
+	l.probeAllControls()
+	l.scheduleNextProbe()
+}
+
+// Stop halts control-link probing.
+func (l *LLI) Stop() {
+	l.started = false
+	if l.probeEvent != nil {
+		l.probeEvent.Cancel()
+	}
+}
+
+func (l *LLI) scheduleNextProbe() {
+	l.probeEvent = l.api.Schedule(l.cfg.ControlProbeInterval, func() {
+		if !l.started {
+			return
+		}
+		l.probeAllControls()
+		l.scheduleNextProbe()
+	})
+}
+
+func (l *LLI) probeAllControls() {
+	for _, dpid := range l.api.Switches() {
+		dpid := dpid
+		l.api.MeasureControlRTT(dpid, l.cfg.ControlProbeTimeout, func(rtt time.Duration, ok bool) {
+			if !ok {
+				return
+			}
+			est := l.control[dpid]
+			if est == nil {
+				// Average of the latest N (default three, Section VI-D).
+				est = &controlEstimate{window: stats.NewWindow(l.cfg.ControlSamples)}
+				l.control[dpid] = est
+			}
+			est.window.Add(rtt)
+		})
+	}
+}
+
+// ControlLatency reports the current one-way control-link estimate for a
+// switch, and whether any measurement exists yet.
+func (l *LLI) ControlLatency(dpid uint64) (time.Duration, bool) {
+	return l.control[dpid].oneWay()
+}
+
+// ApproveLink measures the link latency carried by this LLDP round trip
+// and flags it against the IQR threshold of the link's verified history.
+func (l *LLI) ApproveLink(ev *controller.LinkEvent) bool {
+	total := ev.ReceivedAt.Sub(ev.SentAt)
+	srcCtl, okSrc := l.control[ev.Link.Src.DPID].oneWay()
+	dstCtl, okDst := l.control[ev.Link.Dst.DPID].oneWay()
+	latency := total
+	if okSrc {
+		latency -= srcCtl
+	}
+	if okDst {
+		latency -= dstCtl
+	}
+	if latency < 0 {
+		latency = 0
+	}
+
+	w := l.window
+	sample := LatencySample{At: ev.ReceivedAt, Link: ev.Link, Latency: latency}
+	enforce := w.N() >= l.cfg.MinSamples
+	if enforce {
+		sample.Threshold = w.IQRThreshold(l.cfg.IQRMultiplier)
+		if latency > sample.Threshold {
+			sample.Flagged = true
+			l.samples = append(l.samples, sample)
+			l.api.RaiseAlert(lliName, ReasonAbnormalDelay,
+				fmt.Sprintf("link %s delay is abnormal. delay:%dms, threshold:%dms",
+					ev.Link, latency.Milliseconds(), sample.Threshold.Milliseconds()))
+			return !l.cfg.BlockAnomalies
+		}
+	}
+	// Only verified (unflagged) measurements enter the store, so a slow
+	// trickle of attack latencies cannot drag the threshold upward.
+	w.Add(latency)
+	l.samples = append(l.samples, sample)
+	return true
+}
+
+// Samples returns every latency measurement recorded so far, in order.
+func (l *LLI) Samples() []LatencySample {
+	out := make([]LatencySample, len(l.samples))
+	copy(out, l.samples)
+	return out
+}
+
+// SamplesForLink filters measurements for one directed link.
+func (l *LLI) SamplesForLink(link controller.Link) []LatencySample {
+	var out []LatencySample
+	for _, s := range l.samples {
+		if s.Link == link {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package tgplus implements TOPOGUARD+, the paper's extension to TopoGuard
+// (Section VI), as two controller security modules:
+//
+//   - the Control Message Monitor (CMM) detects in-band port amnesia: a
+//     Port-Up or Port-Down arriving from a port involved in an in-flight
+//     LLDP probe — either the probe's origin or (checked retroactively via
+//     a control-message log) the receiving port — raises an alert and
+//     blocks the link update;
+//   - the Link Latency Inspector (LLI) detects out-of-band relaying: each
+//     LLDP probe carries an encrypted departure timestamp, control-link
+//     delays are measured with Packet-Out probes bounced back to the
+//     controller (averaging the latest three), and a link whose inferred
+//     latency exceeds Q3 + 3*IQR over a fixed-size window of verified
+//     measurements is flagged and (optionally) blocked.
+//
+// Deploying TopoGuard + CMM + LLI together reproduces the paper's
+// TOPOGUARD+ configuration.
+package tgplus
+
+import (
+	"fmt"
+	"time"
+
+	"sdntamper/internal/controller"
+)
+
+// Module name strings used in alerts (matching the Floodlight class whose
+// log lines Figures 12 and 13 show).
+const (
+	cmmName = "TopoGuard+/CMM"
+	lliName = "TopoGuard+/LLI"
+)
+
+// Alert reason codes raised by TopoGuard+.
+const (
+	// ReasonControlMessage flags Port-Up/Down during LLDP propagation.
+	ReasonControlMessage = "anomalous-control-message-during-lldp-propagation"
+	// ReasonAbnormalDelay flags a link whose latency exceeds the IQR bound.
+	ReasonAbnormalDelay = "abnormal-delay-during-lldp-propagation"
+)
+
+// portEvent is one logged Port-Status occurrence.
+type portEvent struct {
+	at   time.Time
+	loc  controller.PortRef
+	down bool
+}
+
+// CMM is the Control Message Monitor.
+type CMM struct {
+	api controller.API
+	log []portEvent
+	// retention bounds the control-message log; events older than this
+	// can no longer fall inside any live LLDP propagation window.
+	retention time.Duration
+}
+
+// NewCMM creates a Control Message Monitor. The retention must exceed the
+// longest plausible LLDP propagation time; the discovery interval is a
+// safe bound and is used when zero is given.
+func NewCMM(retention time.Duration) *CMM {
+	return &CMM{retention: retention}
+}
+
+var (
+	_ controller.SecurityModule     = (*CMM)(nil)
+	_ controller.Binder             = (*CMM)(nil)
+	_ controller.PortStatusObserver = (*CMM)(nil)
+	_ controller.LinkApprover       = (*CMM)(nil)
+)
+
+// ModuleName implements controller.SecurityModule.
+func (c *CMM) ModuleName() string { return cmmName }
+
+// Bind implements controller.Binder.
+func (c *CMM) Bind(api controller.API) {
+	c.api = api
+	if c.retention <= 0 {
+		c.retention = api.Profile().DiscoveryInterval
+	}
+}
+
+// ObservePortStatus logs every port state change with its timestamp so the
+// propagation-window check can be applied retroactively to the receiving
+// port, whose identity is only known once the LLDP arrives.
+func (c *CMM) ObservePortStatus(ev *controller.PortStatusEvent) {
+	c.log = append(c.log, portEvent{at: ev.When, loc: ev.Loc(), down: ev.Down()})
+	cutoff := ev.When.Add(-c.retention)
+	trim := 0
+	for trim < len(c.log) && c.log[trim].at.Before(cutoff) {
+		trim++
+	}
+	c.log = c.log[trim:]
+}
+
+// ApproveLink applies the CMM check: any Port-Up/Down from the probe's
+// origin or receiving port between LLDP generation and receipt indicates
+// the profile-reset signature of in-band port amnesia.
+func (c *CMM) ApproveLink(ev *controller.LinkEvent) bool {
+	for _, pe := range c.log {
+		// The window is strictly after emission: the controller itself
+		// emits a fresh probe in the same instant it processes a Port-Up,
+		// and that legitimate adjacency must not self-flag.
+		if !pe.at.After(ev.SentAt) || pe.at.After(ev.ReceivedAt) {
+			continue
+		}
+		if pe.loc == ev.Link.Src || pe.loc == ev.Link.Dst {
+			kind := "Port-Up"
+			if pe.down {
+				kind = "Port-Down"
+			}
+			c.api.RaiseAlert(cmmName, ReasonControlMessage,
+				fmt.Sprintf("%s from %s during LLDP propagation for link %s", kind, pe.loc, ev.Link))
+			return false
+		}
+	}
+	return true
+}
+
+// LatencySample is one LLI link-latency measurement, kept for the
+// experiment harness (Figures 10, 11 and 13).
+type LatencySample struct {
+	At        time.Time
+	Link      controller.Link
+	Latency   time.Duration
+	Threshold time.Duration // zero until the window has enough data
+	Flagged   bool
+}
+
+// LLIConfig tunes the Link Latency Inspector.
+type LLIConfig struct {
+	// WindowSize is the fixed-size latency store per link (default 100).
+	WindowSize int
+	// IQRMultiplier is k in Q3 + k*IQR (the paper uses 3).
+	IQRMultiplier float64
+	// MinSamples gates enforcement until the store holds enough verified
+	// measurements.
+	MinSamples int
+	// ControlSamples is how many recent control RTT measurements are
+	// averaged (the paper uses the latest three, Section VI-D).
+	ControlSamples int
+	// ControlProbeInterval is how often control-link RTTs are refreshed.
+	ControlProbeInterval time.Duration
+	// ControlProbeTimeout bounds one control RTT measurement.
+	ControlProbeTimeout time.Duration
+	// BlockAnomalies drops flagged link updates from the topology (the
+	// paper's "may optionally block the topology update").
+	BlockAnomalies bool
+}
+
+// DefaultLLIConfig returns the paper's parameters.
+func DefaultLLIConfig() LLIConfig {
+	return LLIConfig{
+		WindowSize:           100,
+		IQRMultiplier:        3,
+		MinSamples:           10,
+		ControlSamples:       3,
+		ControlProbeInterval: 2 * time.Second,
+		ControlProbeTimeout:  2 * time.Second,
+		BlockAnomalies:       true,
+	}
+}

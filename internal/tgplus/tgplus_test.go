@@ -1,0 +1,322 @@
+package tgplus_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/controllertest"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/tgplus"
+)
+
+var (
+	portA = controller.PortRef{DPID: 1, Port: 1}
+	portB = controller.PortRef{DPID: 2, Port: 1}
+)
+
+func portStatus(api *controllertest.FakeAPI, loc controller.PortRef, up bool) *controller.PortStatusEvent {
+	return &controller.PortStatusEvent{
+		DPID: loc.DPID,
+		Status: &openflow.PortStatus{
+			Reason: openflow.PortReasonModify,
+			Desc:   openflow.PortDesc{No: loc.Port, Up: up},
+		},
+		When: api.Now(),
+	}
+}
+
+func linkEvent(api *controllertest.FakeAPI, sentAgo time.Duration) *controller.LinkEvent {
+	now := api.Now()
+	return &controller.LinkEvent{
+		Link:       controller.Link{Src: portA, Dst: portB},
+		SentAt:     now.Add(-sentAgo),
+		ReceivedAt: now,
+		IsNew:      true,
+	}
+}
+
+func TestCMMApprovesQuietPropagation(t *testing.T) {
+	api := controllertest.New()
+	cmm := tgplus.NewCMM(0)
+	cmm.Bind(api)
+	if !cmm.ApproveLink(linkEvent(api, 20*time.Millisecond)) {
+		t.Fatal("quiet propagation blocked")
+	}
+	if len(api.AlertsRaised) != 0 {
+		t.Fatal("alert without port events")
+	}
+}
+
+func TestCMMBlocksPortEventInWindow(t *testing.T) {
+	api := controllertest.New()
+	cmm := tgplus.NewCMM(0)
+	cmm.Bind(api)
+	api.Kernel.RunFor(time.Second)
+	cmm.ObservePortStatus(portStatus(api, portB, false)) // amnesia reset mid-flight
+	api.Kernel.RunFor(30 * time.Millisecond)
+	ev := linkEvent(api, 100*time.Millisecond) // sent 100ms ago: event inside window
+	if cmm.ApproveLink(ev) {
+		t.Fatal("Port-Down inside propagation window approved")
+	}
+	if api.AlertCount(tgplus.ReasonControlMessage) != 1 {
+		t.Fatal("no CMM alert")
+	}
+	if !strings.Contains(api.AlertsRaised[0].Detail, "Port-Down") {
+		t.Fatalf("detail = %q", api.AlertsRaised[0].Detail)
+	}
+}
+
+func TestCMMChecksSenderAndReceiverPorts(t *testing.T) {
+	for _, loc := range []controller.PortRef{portA, portB} {
+		api := controllertest.New()
+		cmm := tgplus.NewCMM(0)
+		cmm.Bind(api)
+		api.Kernel.RunFor(time.Second)
+		cmm.ObservePortStatus(portStatus(api, loc, true)) // Port-Up counts too
+		api.Kernel.RunFor(10 * time.Millisecond)
+		if cmm.ApproveLink(linkEvent(api, 50*time.Millisecond)) {
+			t.Fatalf("port event at %v ignored", loc)
+		}
+	}
+}
+
+func TestCMMIgnoresUnrelatedPorts(t *testing.T) {
+	api := controllertest.New()
+	cmm := tgplus.NewCMM(0)
+	cmm.Bind(api)
+	api.Kernel.RunFor(time.Second)
+	cmm.ObservePortStatus(portStatus(api, controller.PortRef{DPID: 7, Port: 7}, false))
+	api.Kernel.RunFor(10 * time.Millisecond)
+	if !cmm.ApproveLink(linkEvent(api, 50*time.Millisecond)) {
+		t.Fatal("unrelated port event blocked the link")
+	}
+}
+
+func TestCMMIgnoresEventsOutsideWindow(t *testing.T) {
+	api := controllertest.New()
+	cmm := tgplus.NewCMM(0)
+	cmm.Bind(api)
+	// Event strictly before the send: the OOB attacker's one-time reset.
+	cmm.ObservePortStatus(portStatus(api, portB, false))
+	api.Kernel.RunFor(time.Second)
+	if !cmm.ApproveLink(linkEvent(api, 50*time.Millisecond)) {
+		t.Fatal("pre-send port event blocked the link")
+	}
+	// Event exactly at SentAt is also outside (the controller emits fresh
+	// probes in the same instant it processes Port-Up).
+	api2 := controllertest.New()
+	cmm2 := tgplus.NewCMM(0)
+	cmm2.Bind(api2)
+	api2.Kernel.RunFor(time.Second)
+	cmm2.ObservePortStatus(portStatus(api2, portA, true))
+	ev := linkEvent(api2, 0)
+	ev.SentAt = api2.Now()
+	ev.ReceivedAt = api2.Now().Add(30 * time.Millisecond)
+	if !cmm2.ApproveLink(ev) {
+		t.Fatal("same-instant Port-Up/send self-flagged")
+	}
+}
+
+func TestCMMLogRetention(t *testing.T) {
+	api := controllertest.New()
+	cmm := tgplus.NewCMM(5 * time.Second)
+	cmm.Bind(api)
+	cmm.ObservePortStatus(portStatus(api, portB, false))
+	api.Kernel.RunFor(10 * time.Second)
+	cmm.ObservePortStatus(portStatus(api, controller.PortRef{DPID: 9, Port: 9}, false)) // triggers trim
+	ev := linkEvent(api, 11*time.Second)                                                // window covers the old event...
+	if !cmm.ApproveLink(ev) {
+		t.Fatal("event older than retention still consulted")
+	}
+}
+
+func TestLLIControlEstimateAveragesLatestThree(t *testing.T) {
+	api := controllertest.New()
+	lli := tgplus.NewLLI(tgplus.DefaultLLIConfig())
+	lli.Bind(api)
+	api.SwitchIDs = []uint64{1}
+	api.ControlRTTs[1] = 4 * time.Millisecond
+	lli.Start()
+	defer lli.Stop()
+	if err := api.Kernel.RunFor(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	oneWay, ok := lli.ControlLatency(1)
+	if !ok {
+		t.Fatal("no control estimate")
+	}
+	if oneWay != 2*time.Millisecond {
+		t.Fatalf("one-way estimate = %v, want 2ms (half of 4ms RTT)", oneWay)
+	}
+}
+
+func feedLLI(api *controllertest.FakeAPI, lli *tgplus.LLI, latency time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		api.Kernel.RunFor(time.Second)
+		ev := &controller.LinkEvent{
+			Link:       controller.Link{Src: portA, Dst: portB},
+			SentAt:     api.Now().Add(-latency),
+			ReceivedAt: api.Now(),
+		}
+		lli.ApproveLink(ev)
+	}
+}
+
+func TestLLIEnforcesAfterMinSamples(t *testing.T) {
+	api := controllertest.New()
+	cfg := tgplus.DefaultLLIConfig()
+	cfg.MinSamples = 10
+	lli := tgplus.NewLLI(cfg)
+	lli.Bind(api)
+	feedLLI(api, lli, 5*time.Millisecond, 9)
+	// Ninth sample: still calibrating, even an outlier passes.
+	ev := &controller.LinkEvent{
+		Link:       controller.Link{Src: portA, Dst: portB},
+		SentAt:     api.Now().Add(-40 * time.Millisecond),
+		ReceivedAt: api.Now(),
+	}
+	if !lli.ApproveLink(ev) {
+		t.Fatal("blocked during calibration")
+	}
+}
+
+func TestLLIFlagsOutlierAndBlocks(t *testing.T) {
+	api := controllertest.New()
+	lli := tgplus.NewLLI(tgplus.DefaultLLIConfig())
+	lli.Bind(api)
+	feedLLI(api, lli, 5*time.Millisecond, 20)
+	ev := &controller.LinkEvent{
+		Link:       controller.Link{Src: portA, Dst: portB},
+		SentAt:     api.Now().Add(-22 * time.Millisecond), // the OOB relay path
+		ReceivedAt: api.Now(),
+	}
+	if lli.ApproveLink(ev) {
+		t.Fatal("22ms outlier approved against ~5ms history")
+	}
+	if api.AlertCount(tgplus.ReasonAbnormalDelay) != 1 {
+		t.Fatal("no LLI alert")
+	}
+	if !strings.Contains(api.AlertsRaised[0].Detail, "delay is abnormal") {
+		t.Fatalf("detail = %q (want the Figure 13 log shape)", api.AlertsRaised[0].Detail)
+	}
+}
+
+func TestLLIFlaggedSamplesStayOutOfStore(t *testing.T) {
+	api := controllertest.New()
+	lli := tgplus.NewLLI(tgplus.DefaultLLIConfig())
+	lli.Bind(api)
+	feedLLI(api, lli, 5*time.Millisecond, 20)
+	// A persistent attacker repeats the 22ms link every round; the
+	// threshold must not creep upward.
+	for i := 0; i < 30; i++ {
+		api.Kernel.RunFor(time.Second)
+		ev := &controller.LinkEvent{
+			Link:       controller.Link{Src: portA, Dst: portB},
+			SentAt:     api.Now().Add(-22 * time.Millisecond),
+			ReceivedAt: api.Now(),
+		}
+		if lli.ApproveLink(ev) {
+			t.Fatalf("attack latency accepted on round %d: threshold crept", i)
+		}
+	}
+	if got := api.AlertCount(tgplus.ReasonAbnormalDelay); got != 30 {
+		t.Fatalf("alerts = %d, want 30", got)
+	}
+}
+
+func TestLLISubtractsControlLatency(t *testing.T) {
+	api := controllertest.New()
+	lli := tgplus.NewLLI(tgplus.DefaultLLIConfig())
+	lli.Bind(api)
+	api.SwitchIDs = []uint64{1, 2}
+	api.ControlRTTs[1] = 4 * time.Millisecond
+	api.ControlRTTs[2] = 4 * time.Millisecond
+	lli.Start()
+	defer lli.Stop()
+	if err := api.Kernel.RunFor(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Total propagation 9ms = 2ms control + 5ms link + 2ms control.
+	ev := &controller.LinkEvent{
+		Link:       controller.Link{Src: portA, Dst: portB},
+		SentAt:     api.Now().Add(-9 * time.Millisecond),
+		ReceivedAt: api.Now(),
+	}
+	lli.ApproveLink(ev)
+	samples := lli.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if got := samples[0].Latency; got != 5*time.Millisecond {
+		t.Fatalf("inferred link latency = %v, want 5ms", got)
+	}
+}
+
+func TestLLINegativeLatencyClamped(t *testing.T) {
+	api := controllertest.New()
+	lli := tgplus.NewLLI(tgplus.DefaultLLIConfig())
+	lli.Bind(api)
+	api.SwitchIDs = []uint64{1, 2}
+	api.ControlRTTs[1] = 40 * time.Millisecond
+	api.ControlRTTs[2] = 40 * time.Millisecond
+	lli.Start()
+	defer lli.Stop()
+	if err := api.Kernel.RunFor(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ev := &controller.LinkEvent{
+		Link:       controller.Link{Src: portA, Dst: portB},
+		SentAt:     api.Now().Add(-10 * time.Millisecond),
+		ReceivedAt: api.Now(),
+	}
+	lli.ApproveLink(ev)
+	if got := lli.Samples()[0].Latency; got != 0 {
+		t.Fatalf("latency = %v, want clamp to 0", got)
+	}
+}
+
+func TestLLINonBlockingMode(t *testing.T) {
+	api := controllertest.New()
+	cfg := tgplus.DefaultLLIConfig()
+	cfg.BlockAnomalies = false
+	lli := tgplus.NewLLI(cfg)
+	lli.Bind(api)
+	feedLLI(api, lli, 5*time.Millisecond, 20)
+	ev := &controller.LinkEvent{
+		Link:       controller.Link{Src: portA, Dst: portB},
+		SentAt:     api.Now().Add(-22 * time.Millisecond),
+		ReceivedAt: api.Now(),
+	}
+	if !lli.ApproveLink(ev) {
+		t.Fatal("non-blocking mode still blocked")
+	}
+	if api.AlertCount(tgplus.ReasonAbnormalDelay) != 1 {
+		t.Fatal("non-blocking mode must still alert")
+	}
+}
+
+func TestSamplesForLinkFilters(t *testing.T) {
+	api := controllertest.New()
+	lli := tgplus.NewLLI(tgplus.DefaultLLIConfig())
+	lli.Bind(api)
+	feedLLI(api, lli, 5*time.Millisecond, 5)
+	other := controller.Link{Src: controller.PortRef{DPID: 3, Port: 3}, Dst: portB}
+	lli.ApproveLink(&controller.LinkEvent{Link: other, SentAt: api.Now().Add(-5 * time.Millisecond), ReceivedAt: api.Now()})
+	if got := len(lli.SamplesForLink(controller.Link{Src: portA, Dst: portB})); got != 5 {
+		t.Fatalf("filtered samples = %d", got)
+	}
+	if got := len(lli.SamplesForLink(other)); got != 1 {
+		t.Fatalf("other link samples = %d", got)
+	}
+}
+
+func TestModuleNames(t *testing.T) {
+	if tgplus.NewCMM(0).ModuleName() != "TopoGuard+/CMM" {
+		t.Fatal("CMM name")
+	}
+	if tgplus.NewLLI(tgplus.DefaultLLIConfig()).ModuleName() != "TopoGuard+/LLI" {
+		t.Fatal("LLI name")
+	}
+}

@@ -1,0 +1,182 @@
+// Package topoguard reimplements TopoGuard (Hong et al., NDSS 2015) as a
+// security module for the simulated controller, from the description in
+// Section III-B of the DSN paper:
+//
+//   - a behavioral profiler classifying each switch port as ANY, HOST or
+//     SWITCH from first-seen traffic, reset to ANY on Port-Down;
+//   - port property verification: LLDP from a HOST port, or first-hop
+//     dataplane traffic from a SWITCH port, raises an alert and blocks the
+//     update;
+//   - host migration verification: a migration must be preceded by a
+//     Port-Down at the old location (pre-condition) and the host must be
+//     unreachable there afterwards (post-condition, checked with a
+//     controller ping).
+//
+// The port amnesia attack targets the profiler's reset-on-Port-Down rule;
+// the port probing attack wins the race inside the migration checks.
+package topoguard
+
+import (
+	"fmt"
+	"time"
+
+	"sdntamper/internal/controller"
+)
+
+// PortType is the behavioral profile of a switch port.
+type PortType int
+
+// Port profiles.
+const (
+	// Any is the initial (and post-reset) profile.
+	Any PortType = iota + 1
+	// HostPort marks a port that originated dataplane traffic.
+	HostPort
+	// SwitchPort marks a port that delivered LLDP.
+	SwitchPort
+)
+
+// String names the profile as the paper does.
+func (p PortType) String() string {
+	switch p {
+	case HostPort:
+		return "HOST"
+	case SwitchPort:
+		return "SWITCH"
+	default:
+		return "ANY"
+	}
+}
+
+// Alert reason codes raised by this module.
+const (
+	ReasonLLDPFromHost       = "lldp-from-host-port"
+	ReasonFirstHopFromSwitch = "first-hop-from-switch-port"
+	ReasonMigrationPre       = "migration-precondition-violated"
+	ReasonMigrationPost      = "migration-postcondition-violated"
+)
+
+const moduleName = "TopoGuard"
+
+// defaultProbeTimeout bounds the post-condition reachability ping.
+const defaultProbeTimeout = 200 * time.Millisecond
+
+// TopoGuard is the security module. Register it on a controller.
+type TopoGuard struct {
+	api          controller.API
+	profiles     map[controller.PortRef]PortType
+	lastDown     map[controller.PortRef]time.Time
+	probeTimeout time.Duration
+}
+
+// Option configures TopoGuard.
+type Option func(*TopoGuard)
+
+// WithProbeTimeout overrides the post-condition ping timeout.
+func WithProbeTimeout(d time.Duration) Option {
+	return func(t *TopoGuard) { t.probeTimeout = d }
+}
+
+// New creates a TopoGuard module.
+func New(opts ...Option) *TopoGuard {
+	t := &TopoGuard{
+		profiles:     make(map[controller.PortRef]PortType),
+		lastDown:     make(map[controller.PortRef]time.Time),
+		probeTimeout: defaultProbeTimeout,
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+var (
+	_ controller.SecurityModule      = (*TopoGuard)(nil)
+	_ controller.Binder              = (*TopoGuard)(nil)
+	_ controller.PacketInInterceptor = (*TopoGuard)(nil)
+	_ controller.PortStatusObserver  = (*TopoGuard)(nil)
+	_ controller.HostMoveApprover    = (*TopoGuard)(nil)
+)
+
+// ModuleName implements controller.SecurityModule.
+func (t *TopoGuard) ModuleName() string { return moduleName }
+
+// Bind implements controller.Binder.
+func (t *TopoGuard) Bind(api controller.API) { t.api = api }
+
+// Profile reports the current behavioral profile of a port.
+func (t *TopoGuard) Profile(ref controller.PortRef) PortType {
+	if p, ok := t.profiles[ref]; ok {
+		return p
+	}
+	return Any
+}
+
+// InterceptPacketIn implements the behavioral profiler and the port
+// property verification policy.
+func (t *TopoGuard) InterceptPacketIn(ev *controller.PacketInEvent) bool {
+	loc := ev.Loc()
+	if ev.IsLLDP {
+		if t.Profile(loc) == HostPort {
+			t.api.RaiseAlert(moduleName, ReasonLLDPFromHost,
+				fmt.Sprintf("LLDP received from HOST-profiled port %s", loc))
+			return false
+		}
+		t.profiles[loc] = SwitchPort
+		return true
+	}
+
+	// First-hop traffic originates at this port: its source is unknown or
+	// is a host bound to exactly this port. Traffic whose source is bound
+	// elsewhere is transiting (trunk forwarding) or claiming a migration;
+	// migrations are policed separately by ApproveHostMove.
+	entry, known := t.api.HostByMAC(ev.Eth.Src)
+	firstHop := !known || entry.Loc == loc
+	if !firstHop {
+		return true
+	}
+	if t.Profile(loc) == SwitchPort {
+		t.api.RaiseAlert(moduleName, ReasonFirstHopFromSwitch,
+			fmt.Sprintf("first-hop traffic from %s on SWITCH-profiled port %s", ev.Eth.Src, loc))
+		return false
+	}
+	t.profiles[loc] = HostPort
+	return true
+}
+
+// ObservePortStatus resets the behavioral profile on Port-Down — the
+// forgetting rule the port amnesia attack abuses.
+func (t *TopoGuard) ObservePortStatus(ev *controller.PortStatusEvent) {
+	if ev.Down() {
+		loc := ev.Loc()
+		t.profiles[loc] = Any
+		t.lastDown[loc] = ev.When
+	}
+}
+
+// ApproveHostMove enforces host migration verification.
+func (t *TopoGuard) ApproveHostMove(ev *controller.HostMoveEvent) bool {
+	if ev.IsNew {
+		return true
+	}
+	// Pre-condition: the host disconnected from its original location,
+	// evidenced by a Port-Down there since it was last seen.
+	downAt, sawDown := t.lastDown[ev.Old]
+	if !sawDown || downAt.Before(ev.OldSeen) {
+		t.api.RaiseAlert(moduleName, ReasonMigrationPre,
+			fmt.Sprintf("host %s claims move %s -> %s with no Port-Down at %s", ev.MAC, ev.Old, ev.New, ev.Old))
+		return false
+	}
+	// Post-condition: the host must be unreachable at the old location.
+	// The check is asynchronous; the move is admitted optimistically and
+	// rolled back (with an alert) if the old location still answers.
+	mac, ip, oldLoc := ev.MAC, ev.IP, ev.Old
+	t.api.ProbeHost(oldLoc, mac, ip, t.probeTimeout, func(alive bool) {
+		if alive {
+			t.api.RaiseAlert(moduleName, ReasonMigrationPost,
+				fmt.Sprintf("host %s still reachable at %s after claimed move", mac, oldLoc))
+			t.api.RestoreHostLocation(mac, oldLoc)
+		}
+	})
+	return true
+}

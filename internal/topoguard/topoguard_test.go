@@ -1,0 +1,263 @@
+package topoguard_test
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/controllertest"
+	"sdntamper/internal/lldp"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/topoguard"
+)
+
+var (
+	portA = controller.PortRef{DPID: 1, Port: 1}
+	portB = controller.PortRef{DPID: 2, Port: 1}
+	macH  = packet.MustMAC("aa:aa:aa:aa:aa:aa")
+	ipH   = packet.MustIPv4("10.0.0.1")
+)
+
+func newTG(t *testing.T) (*topoguard.TopoGuard, *controllertest.FakeAPI) {
+	t.Helper()
+	api := controllertest.New()
+	tg := topoguard.New()
+	tg.Bind(api)
+	return tg, api
+}
+
+func lldpEvent(api *controllertest.FakeAPI, loc controller.PortRef) *controller.PacketInEvent {
+	f := &lldp.Frame{ChassisID: 9, PortID: 9, TTLSecs: 120}
+	eth := lldp.NewEthernet(packet.MustMAC("0e:00:00:00:00:01"), f)
+	return &controller.PacketInEvent{
+		DPID: loc.DPID, InPort: loc.Port,
+		Eth: eth, Data: eth.Marshal(),
+		IsLLDP: true, LLDP: f,
+		When: api.Now(),
+	}
+}
+
+func dataEvent(api *controllertest.FakeAPI, loc controller.PortRef, src packet.MAC) *controller.PacketInEvent {
+	eth := packet.NewARPRequest(src, ipH, packet.MustIPv4("10.0.0.2"))
+	return &controller.PacketInEvent{
+		DPID: loc.DPID, InPort: loc.Port,
+		Eth: eth, Data: eth.Marshal(),
+		Fields: openflow.ExtractFields(loc.Port, eth.Marshal()),
+		When:   api.Now(),
+	}
+}
+
+func portDown(api *controllertest.FakeAPI, loc controller.PortRef) *controller.PortStatusEvent {
+	return &controller.PortStatusEvent{
+		DPID: loc.DPID,
+		Status: &openflow.PortStatus{
+			Reason: openflow.PortReasonModify,
+			Desc:   openflow.PortDesc{No: loc.Port, Up: false},
+		},
+		When: api.Now(),
+	}
+}
+
+func TestProfileStartsAny(t *testing.T) {
+	tg, _ := newTG(t)
+	if got := tg.Profile(portA); got != topoguard.Any {
+		t.Fatalf("initial profile = %v", got)
+	}
+	if topoguard.Any.String() != "ANY" || topoguard.HostPort.String() != "HOST" || topoguard.SwitchPort.String() != "SWITCH" {
+		t.Fatal("profile names wrong")
+	}
+}
+
+func TestDataTrafficMarksHost(t *testing.T) {
+	tg, api := newTG(t)
+	if !tg.InterceptPacketIn(dataEvent(api, portA, macH)) {
+		t.Fatal("first-hop traffic on ANY port blocked")
+	}
+	if tg.Profile(portA) != topoguard.HostPort {
+		t.Fatalf("profile = %v, want HOST", tg.Profile(portA))
+	}
+}
+
+func TestLLDPMarksSwitch(t *testing.T) {
+	tg, api := newTG(t)
+	if !tg.InterceptPacketIn(lldpEvent(api, portA)) {
+		t.Fatal("LLDP on ANY port blocked")
+	}
+	if tg.Profile(portA) != topoguard.SwitchPort {
+		t.Fatalf("profile = %v, want SWITCH", tg.Profile(portA))
+	}
+}
+
+func TestLLDPFromHostPortAlertsAndBlocks(t *testing.T) {
+	tg, api := newTG(t)
+	tg.InterceptPacketIn(dataEvent(api, portA, macH)) // HOST
+	if tg.InterceptPacketIn(lldpEvent(api, portA)) {
+		t.Fatal("LLDP from HOST port allowed")
+	}
+	if api.AlertCount(topoguard.ReasonLLDPFromHost) != 1 {
+		t.Fatal("no alert")
+	}
+	if tg.Profile(portA) != topoguard.HostPort {
+		t.Fatal("violation must not flip the profile")
+	}
+}
+
+func TestFirstHopFromSwitchPortAlertsAndBlocks(t *testing.T) {
+	tg, api := newTG(t)
+	tg.InterceptPacketIn(lldpEvent(api, portA)) // SWITCH
+	if tg.InterceptPacketIn(dataEvent(api, portA, macH)) {
+		t.Fatal("first-hop from SWITCH port allowed")
+	}
+	if api.AlertCount(topoguard.ReasonFirstHopFromSwitch) != 1 {
+		t.Fatal("no alert")
+	}
+}
+
+func TestTransitTrafficFromSwitchPortAllowed(t *testing.T) {
+	tg, api := newTG(t)
+	tg.InterceptPacketIn(lldpEvent(api, portA)) // SWITCH (a trunk)
+	// macH is bound elsewhere: its frames over the trunk are transit.
+	api.HostTable[macH] = controller.HostEntry{MAC: macH, Loc: portB, LastSeen: api.Now()}
+	if !tg.InterceptPacketIn(dataEvent(api, portA, macH)) {
+		t.Fatal("transit traffic blocked")
+	}
+	if api.AlertCount(topoguard.ReasonFirstHopFromSwitch) != 0 {
+		t.Fatal("transit traffic alerted")
+	}
+}
+
+func TestPortDownResetsProfile(t *testing.T) {
+	tg, api := newTG(t)
+	tg.InterceptPacketIn(dataEvent(api, portA, macH)) // HOST
+	tg.ObservePortStatus(portDown(api, portA))
+	if tg.Profile(portA) != topoguard.Any {
+		t.Fatalf("profile after Port-Down = %v, want ANY", tg.Profile(portA))
+	}
+	// This is precisely port amnesia: LLDP is now acceptable again.
+	if !tg.InterceptPacketIn(lldpEvent(api, portA)) {
+		t.Fatal("post-reset LLDP blocked")
+	}
+	if api.AlertCount(topoguard.ReasonLLDPFromHost) != 0 {
+		t.Fatal("post-reset LLDP alerted")
+	}
+}
+
+func TestPortUpDoesNotReset(t *testing.T) {
+	tg, api := newTG(t)
+	tg.InterceptPacketIn(dataEvent(api, portA, macH)) // HOST
+	up := portDown(api, portA)
+	up.Status.Desc.Up = true
+	tg.ObservePortStatus(up)
+	if tg.Profile(portA) != topoguard.HostPort {
+		t.Fatal("Port-Up must not clear the profile")
+	}
+}
+
+func TestNewHostJoinApproved(t *testing.T) {
+	tg, api := newTG(t)
+	ev := &controller.HostMoveEvent{MAC: macH, IP: ipH, New: portA, IsNew: true, When: api.Now()}
+	if !tg.ApproveHostMove(ev) {
+		t.Fatal("join rejected")
+	}
+	if len(api.AlertsRaised) != 0 {
+		t.Fatal("join alerted")
+	}
+}
+
+func TestMigrationWithoutPortDownBlocked(t *testing.T) {
+	tg, api := newTG(t)
+	api.HostTable[macH] = controller.HostEntry{MAC: macH, Loc: portA, LastSeen: api.Now()}
+	ev := &controller.HostMoveEvent{MAC: macH, IP: ipH, Old: portA, New: portB, OldSeen: api.Now(), When: api.Now()}
+	if tg.ApproveHostMove(ev) {
+		t.Fatal("migration without Port-Down approved")
+	}
+	if api.AlertCount(topoguard.ReasonMigrationPre) != 1 {
+		t.Fatal("no pre-condition alert")
+	}
+}
+
+func TestMigrationAfterPortDownApproved(t *testing.T) {
+	tg, api := newTG(t)
+	oldSeen := api.Now()
+	api.Kernel.RunFor(time.Second)
+	tg.ObservePortStatus(portDown(api, portA))
+	api.Kernel.RunFor(time.Second)
+	api.ProbeReachable[portA] = false // victim really gone
+	ev := &controller.HostMoveEvent{MAC: macH, IP: ipH, Old: portA, New: portB, OldSeen: oldSeen, When: api.Now()}
+	if !tg.ApproveHostMove(ev) {
+		t.Fatal("legitimate migration blocked")
+	}
+	if err := api.Kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(api.AlertsRaised) != 0 {
+		t.Fatalf("alerts = %v", api.AlertsRaised)
+	}
+	if len(api.Restored) != 0 {
+		t.Fatal("binding rolled back for a legitimate move")
+	}
+}
+
+func TestStalePortDownDoesNotSatisfyPrecondition(t *testing.T) {
+	tg, api := newTG(t)
+	tg.ObservePortStatus(portDown(api, portA))
+	api.Kernel.RunFor(time.Second)
+	oldSeen := api.Now() // host seen AFTER the Port-Down: it came back
+	api.Kernel.RunFor(time.Second)
+	ev := &controller.HostMoveEvent{MAC: macH, IP: ipH, Old: portA, New: portB, OldSeen: oldSeen, When: api.Now()}
+	if tg.ApproveHostMove(ev) {
+		t.Fatal("stale Port-Down accepted as pre-condition")
+	}
+}
+
+func TestPostConditionRollsBackWhenOldLocationAnswers(t *testing.T) {
+	tg, api := newTG(t)
+	oldSeen := api.Now()
+	api.Kernel.RunFor(time.Second)
+	tg.ObservePortStatus(portDown(api, portA))
+	api.Kernel.RunFor(time.Second)
+	api.ProbeReachable[portA] = true // the "victim" is actually still there
+	api.HostTable[macH] = controller.HostEntry{MAC: macH, Loc: portB, LastSeen: api.Now()}
+	ev := &controller.HostMoveEvent{MAC: macH, IP: ipH, Old: portA, New: portB, OldSeen: oldSeen, When: api.Now()}
+	if !tg.ApproveHostMove(ev) {
+		t.Fatal("move with satisfied pre-condition should be optimistically admitted")
+	}
+	if err := api.Kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if api.AlertCount(topoguard.ReasonMigrationPost) != 1 {
+		t.Fatal("post-condition violation not alerted")
+	}
+	if len(api.Restored) != 1 || api.Restored[0].Loc != portA {
+		t.Fatalf("binding not restored: %+v", api.Restored)
+	}
+}
+
+func TestProbeTimeoutOption(t *testing.T) {
+	api := controllertest.New()
+	tg := topoguard.New(topoguard.WithProbeTimeout(50 * time.Millisecond))
+	tg.Bind(api)
+	tg.ObservePortStatus(portDown(api, portA))
+	api.Kernel.RunFor(time.Second)
+	api.ProbeReachable[portA] = false
+	ev := &controller.HostMoveEvent{MAC: macH, IP: ipH, Old: portA, New: portB, OldSeen: time.Time{}, When: api.Now()}
+	// OldSeen zero predates the Port-Down, so pre-condition passes.
+	if !tg.ApproveHostMove(ev) {
+		t.Fatal("move blocked")
+	}
+	before := api.Kernel.Now()
+	if err := api.Kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := api.Kernel.Now().Sub(before); got != 50*time.Millisecond {
+		t.Fatalf("probe timeout honored = %v, want 50ms", got)
+	}
+}
+
+func TestModuleName(t *testing.T) {
+	tg, _ := newTG(t)
+	if tg.ModuleName() != "TopoGuard" {
+		t.Fatalf("name = %q", tg.ModuleName())
+	}
+}

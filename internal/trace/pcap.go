@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// Pcap writes captured frames in libpcap format (the classic 24-byte
+// global header plus per-record headers, LINKTYPE_ETHERNET), so captures
+// from the simulation open directly in Wireshark or tcpdump. Virtual
+// timestamps are written as offsets from the Unix epoch of the
+// simulation's own epoch.
+type Pcap struct {
+	w      io.Writer
+	kernel *sim.Kernel
+	frames int
+	err    error
+}
+
+const (
+	pcapMagic        = 0xa1b2c3d4 // classic libpcap magic: microsecond resolution, big-endian writer
+	pcapVersionMaj   = 2
+	pcapVersionMin   = 4
+	pcapSnapLen      = 65535
+	linktypeEthernet = 1
+)
+
+// NewPcap writes the global header and returns a writer bound to the
+// kernel's virtual clock.
+func NewPcap(kernel *sim.Kernel, w io.Writer) (*Pcap, error) {
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], pcapVersionMaj)
+	binary.BigEndian.PutUint16(hdr[6:8], pcapVersionMin)
+	// thiszone and sigfigs stay zero.
+	binary.BigEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.BigEndian.PutUint32(hdr[20:24], linktypeEthernet)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("pcap header: %w", err)
+	}
+	return &Pcap{w: w, kernel: kernel}, nil
+}
+
+// WriteFrame appends one raw Ethernet frame stamped with the current
+// virtual time. After the first write error the writer latches it and
+// further writes are no-ops.
+func (p *Pcap) WriteFrame(raw []byte) {
+	if p.err != nil {
+		return
+	}
+	at := p.kernel.Now()
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], uint32(at.Unix()))
+	binary.BigEndian.PutUint32(rec[4:8], uint32(at.Nanosecond()/int(time.Microsecond)))
+	length := len(raw)
+	if length > pcapSnapLen {
+		length = pcapSnapLen
+	}
+	binary.BigEndian.PutUint32(rec[8:12], uint32(length))
+	binary.BigEndian.PutUint32(rec[12:16], uint32(len(raw)))
+	if _, err := p.w.Write(rec); err != nil {
+		p.err = fmt.Errorf("pcap record: %w", err)
+		return
+	}
+	if _, err := p.w.Write(raw[:length]); err != nil {
+		p.err = fmt.Errorf("pcap payload: %w", err)
+		return
+	}
+	p.frames++
+}
+
+// Frames reports records written so far.
+func (p *Pcap) Frames() int { return p.frames }
+
+// Err reports the first write error, if any.
+func (p *Pcap) Err() error { return p.err }
+
+// TapHost records every frame the host receives into the capture,
+// preserving any existing hook.
+func (p *Pcap) TapHost(h *dataplane.Host) {
+	prev := h.OnFrame
+	h.OnFrame = func(eth *packet.Ethernet, raw []byte) bool {
+		p.WriteFrame(raw)
+		if prev != nil {
+			return prev(eth, raw)
+		}
+		return false
+	}
+}

@@ -1,0 +1,176 @@
+// Package trace provides a tcpdump-style capture facility for the
+// simulation: tap a host NIC and every frame it receives is summarized
+// (layer by layer, LLDP TLVs included) into a bounded in-memory log, with
+// virtual timestamps. Examples and the topotamper CLI use it to show what
+// an attack looks like on the wire.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/lldp"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// Event is one captured observation.
+type Event struct {
+	At     time.Duration // virtual time since epoch
+	Source string        // tap name
+	Detail string        // one-line summary
+}
+
+// String renders the event like a capture tool would.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s %-12s %s", e.At.Truncate(time.Microsecond), e.Source, e.Detail)
+}
+
+// Log is a bounded capture log. It is not safe for concurrent use; like
+// everything else it lives on the simulation's single event loop.
+type Log struct {
+	kernel *sim.Kernel
+	max    int
+	events []Event
+	total  uint64
+}
+
+// NewLog creates a log retaining at most max events (1024 if max <= 0).
+func NewLog(kernel *sim.Kernel, max int) *Log {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Log{kernel: kernel, max: max}
+}
+
+// Addf appends a formatted event, evicting the oldest beyond capacity.
+func (l *Log) Addf(source, format string, args ...any) {
+	l.total++
+	l.events = append(l.events, Event{
+		At:     l.kernel.Elapsed(),
+		Source: source,
+		Detail: fmt.Sprintf(format, args...),
+	})
+	if len(l.events) > l.max {
+		l.events = l.events[len(l.events)-l.max:]
+	}
+}
+
+// Events snapshots the retained events in order.
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Total reports all events ever captured, including evicted ones.
+func (l *Log) Total() uint64 { return l.total }
+
+// String renders the retained events, one per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TapHost records a summary of every frame the host receives, preserving
+// any existing OnFrame hook (the tap observes, it never consumes).
+func (l *Log) TapHost(h *dataplane.Host, name string) {
+	prev := h.OnFrame
+	h.OnFrame = func(eth *packet.Ethernet, raw []byte) bool {
+		l.Addf(name, "%s", Summarize(raw))
+		if prev != nil {
+			return prev(eth, raw)
+		}
+		return false
+	}
+}
+
+// Summarize renders a one-line, tcpdump-flavored description of a raw
+// Ethernet frame, descending as far as the layers parse.
+func Summarize(raw []byte) string {
+	eth, err := packet.UnmarshalEthernet(raw)
+	if err != nil {
+		return fmt.Sprintf("malformed frame (%d bytes)", len(raw))
+	}
+	head := fmt.Sprintf("%s > %s", eth.Src, eth.Dst)
+	switch eth.Type {
+	case packet.EtherTypeARP:
+		return head + " " + summarizeARP(eth.Payload)
+	case packet.EtherTypeIPv4:
+		return head + " " + summarizeIPv4(eth.Payload)
+	case packet.EtherTypeLLDP:
+		return head + " " + summarizeLLDP(eth.Payload)
+	default:
+		return fmt.Sprintf("%s ethertype %s, %d bytes", head, eth.Type, len(eth.Payload))
+	}
+}
+
+func summarizeARP(payload []byte) string {
+	arp, err := packet.UnmarshalARP(payload)
+	if err != nil {
+		return "ARP (malformed)"
+	}
+	if arp.Op == packet.ARPRequest {
+		return fmt.Sprintf("ARP who-has %s tell %s (%s)", arp.TargetIP, arp.SenderIP, arp.SenderHW)
+	}
+	return fmt.Sprintf("ARP %s is-at %s", arp.SenderIP, arp.SenderHW)
+}
+
+func summarizeIPv4(payload []byte) string {
+	ip, err := packet.UnmarshalIPv4(payload)
+	if err != nil {
+		return "IPv4 (malformed)"
+	}
+	head := fmt.Sprintf("IP %s > %s", ip.Src, ip.Dst)
+	switch ip.Protocol {
+	case packet.ProtoICMP:
+		m, err := packet.UnmarshalICMP(ip.Payload)
+		if err != nil {
+			return head + " ICMP (malformed)"
+		}
+		kind := "type " + fmt.Sprint(m.Type)
+		switch m.Type {
+		case packet.ICMPEchoRequest:
+			kind = "echo request"
+		case packet.ICMPEchoReply:
+			kind = "echo reply"
+		}
+		return fmt.Sprintf("%s ICMP %s id=%d seq=%d", head, kind, m.ID, m.Seq)
+	case packet.ProtoTCP:
+		seg, err := packet.UnmarshalTCP(ip.Payload)
+		if err != nil {
+			return head + " TCP (malformed)"
+		}
+		return fmt.Sprintf("%s TCP %d > %d [%s] seq=%d len=%d",
+			head, seg.SrcPort, seg.DstPort, seg.Flags, seg.Seq, len(seg.Payload))
+	case packet.ProtoUDP:
+		u, err := packet.UnmarshalUDP(ip.Payload)
+		if err != nil {
+			return head + " UDP (malformed)"
+		}
+		return fmt.Sprintf("%s UDP %d > %d len=%d", head, u.SrcPort, u.DstPort, len(u.Payload))
+	default:
+		return fmt.Sprintf("%s proto=%d len=%d", head, ip.Protocol, len(ip.Payload))
+	}
+}
+
+func summarizeLLDP(payload []byte) string {
+	f, err := lldp.Unmarshal(payload)
+	if err != nil {
+		return "LLDP (malformed)"
+	}
+	extras := ""
+	if f.Auth != nil {
+		extras += " +hmac"
+	}
+	if f.Timestamp != nil {
+		extras += " +timestamp"
+	}
+	return fmt.Sprintf("LLDP chassis=0x%x port=%d ttl=%ds%s", f.ChassisID, f.PortID, f.TTLSecs, extras)
+}
