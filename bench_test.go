@@ -174,6 +174,25 @@ func BenchmarkFig5678_HijackRun(b *testing.B) {
 	}
 }
 
+// benchHijackDistributions measures an 8-trial Figure 5-8 experiment end to
+// end; the serial/parallel pair is the wall-clock speedup evidence recorded
+// in BENCH_pr1.json.
+func benchHijackDistributions(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		d, err := core.RunHijackDistributionsParallel(int64(i)*1000+1, 8, false, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.AttackerUp.N()+d.Failed != 8 {
+			b.Fatalf("runs accounted = %d", d.AttackerUp.N()+d.Failed)
+		}
+	}
+}
+
+func BenchmarkFig5678_Distributions8Serial(b *testing.B)   { benchHijackDistributions(b, 1) }
+func BenchmarkFig5678_Distributions8Parallel(b *testing.B) { benchHijackDistributions(b, 0) }
+
 // --- Figures 10-13 ------------------------------------------------------
 
 func BenchmarkFig10_LLIMeasurementRound(b *testing.B) {

@@ -34,6 +34,7 @@ func run(args []string) error {
 	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
+	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +45,7 @@ func run(args []string) error {
 		"table3":     func(int64, int) error { return printTableIII() },
 		"fig3":       func(s int64, _ int) error { return printFig3(s) },
 		"fig4":       func(s int64, _ int) error { return printFig4(s) },
-		"fig5678":    printFig5678,
+		"fig5678":    func(s int64, r int) error { return printFig5678(s, r, *workers) },
 		"fig10":      func(s int64, _ int) error { return printFig10(s) },
 		"fig11":      func(s int64, _ int) error { return printFig11(s) },
 		"fig12":      func(s int64, _ int) error { return printFig12(s) },
@@ -55,7 +56,7 @@ func run(args []string) error {
 		"alertflood": func(s int64, _ int) error { return printAlertFlood(s) },
 		"matrix":     func(s int64, _ int) error { return printMatrix(s) },
 		"windows":    printWindows,
-		"induced":    func(s int64, _ int) error { return printInduced(s) },
+		"induced":    func(s int64, _ int) error { return printInduced(s, *workers) },
 		"secbind":    func(s int64, _ int) error { return printSecBind(s) },
 		"profiles":   func(s int64, _ int) error { return printProfiles(s) },
 		"ablation":   func(s int64, _ int) error { return printAblations(s) },
@@ -143,7 +144,7 @@ func printFig4(seed int64) error {
 	return nil
 }
 
-func printFig5678(seed int64, runs int) error {
+func printFig5678(seed int64, runs, workers int) error {
 	header(fmt.Sprintf("FIGURES 5-8: Hijack phase distributions (%d runs, offsets from victim down)", runs))
 	for _, mode := range []struct {
 		name string
@@ -152,7 +153,7 @@ func printFig5678(seed int64, runs int) error {
 		{"mechanism only (50ms ARP probes, calibrated timeout)", false},
 		{"with nmap tool-cost model (Table I ARP scan 133.5ms)", true},
 	} {
-		d, err := core.RunHijackDistributionsParallel(seed, runs, mode.tool, 0)
+		d, err := core.RunHijackDistributionsParallel(seed, runs, mode.tool, workers)
 		if err != nil {
 			return err
 		}
@@ -341,7 +342,7 @@ func printAblations(seed int64) error {
 	return nil
 }
 
-func printInduced(seed int64) error {
+func printInduced(seed int64, workers int) error {
 	header("EXTENSION (SECTION IV-B): hypervisor-induced migration hijack")
 	res, err := core.RunInducedMigration(seed)
 	if err != nil {
@@ -353,6 +354,17 @@ func printInduced(seed int64) error {
 	fmt.Printf("hijack completed inside window    : %v (%s after window opened)\n",
 		res.HijackWon, res.HijackCompletedAt.Sub(res.MigrationStartedAt).Truncate(time.Millisecond))
 	fmt.Printf("alerts during window / after      : %d / %d\n", res.AlertsDuringWindow, res.AlertsAfterReturn)
+
+	const trials = 20
+	sum, err := core.RunInducedMigrationSeries(seed, trials, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nacross %d seeded trials:\n", sum.Runs)
+	fmt.Printf("hijack win rate                   : %d/%d (%.0f%%)\n", sum.Wins, sum.Runs, 100*sum.WinRate)
+	fmt.Printf("DoS -> migration trigger          : %s\n", sum.TriggerDelay.Summary())
+	fmt.Printf("downtime window                   : %s\n", sum.Downtime.Summary())
+	fmt.Printf("alerts during windows / after     : %d / %d\n", sum.AlertsDuring, sum.AlertsAfter)
 	return nil
 }
 

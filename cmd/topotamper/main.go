@@ -6,6 +6,12 @@
 //	topotamper -scenario fig9 -defense topoguard+ -attack oob-amnesia -duration 2m
 //	topotamper -scenario fig2 -defense both -attack port-probing
 //	topotamper -scenario fig1 -defense topoguard -attack naive-fabrication
+//
+// With -trials N (N > 1) the same configuration runs headlessly across N
+// consecutive seeds on the parallel executor and prints one summary row
+// per trial, merged in seed order:
+//
+//	topotamper -scenario fig2 -defense both -attack port-probing -trials 20 -parallel 0
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"sdntamper/internal/controller"
 	"sdntamper/internal/core"
 	"sdntamper/internal/dataplane"
+	"sdntamper/internal/exp"
 	"sdntamper/internal/trace"
 )
 
@@ -39,30 +46,24 @@ func run(args []string) error {
 	traceFrames := fs.Int("trace", 0, "tap the attacker/victim NICs and print the last N captured frames")
 	pcapPath := fs.String("pcap", "", "also write tapped frames to this file in libpcap format")
 	dotPath := fs.String("dot", "", "write the final topology view as Graphviz dot to this file")
+	trials := fs.Int("trials", 1, "seeded trials (seed, seed+1, ...); >1 runs a headless fleet, one summary row per trial")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the trial fleet (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	defenses, err := parseDefense(*defenseName)
-	if err != nil {
-		return err
+	if *trials > 1 {
+		return runFleet(*scenarioName, *defenseName, *attackName, *duration, *seed, *trials, *parallel)
 	}
+
 	logf := func(format string, a ...any) {
 		if !*quiet {
 			fmt.Printf("[ctl] "+format+"\n", a...)
 		}
 	}
-
-	var s *core.Scenario
-	switch *scenarioName {
-	case "fig1":
-		s = core.NewFig1Scenario(*seed, defenses, withLog(logf)...)
-	case "fig2":
-		s = core.NewFig2Scenario(*seed, defenses, withLog(logf)...)
-	case "fig9":
-		s = core.NewFig9Testbed(*seed, defenses, withLog(logf)...)
-	default:
-		return fmt.Errorf("unknown scenario %q", *scenarioName)
+	s, err := buildScenario(*scenarioName, *defenseName, *seed, logf)
+	if err != nil {
+		return err
 	}
 	defer s.Close()
 
@@ -109,7 +110,8 @@ func run(args []string) error {
 		return err
 	}
 
-	if err := launchAttack(s, *scenarioName, *attackName); err != nil {
+	attackLogf := func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	if err := launchAttack(s, *scenarioName, *attackName, attackLogf, nil); err != nil {
 		return err
 	}
 	if err := s.Run(*duration); err != nil {
@@ -152,6 +154,88 @@ func withLog(logf func(string, ...any)) []controller.Option {
 	return []controller.Option{controller.WithLogf(logf)}
 }
 
+// buildScenario constructs the named topology with the named defense stack.
+func buildScenario(scenarioName, defenseName string, seed int64, logf func(string, ...any)) (*core.Scenario, error) {
+	defenses, err := parseDefense(defenseName)
+	if err != nil {
+		return nil, err
+	}
+	switch scenarioName {
+	case "fig1":
+		return core.NewFig1Scenario(seed, defenses, withLog(logf)...), nil
+	case "fig2":
+		return core.NewFig2Scenario(seed, defenses, withLog(logf)...), nil
+	case "fig9":
+		return core.NewFig9Testbed(seed, defenses, withLog(logf)...), nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenarioName)
+	}
+}
+
+// trialOutcome is the per-seed summary a fleet trial reports.
+type trialOutcome struct {
+	seed   int64
+	links  int
+	hosts  int
+	alerts int
+	ackAt  time.Time // controller ack of a completed hijack; zero if none
+}
+
+// runTrial executes one headless trial: build, warm, attack, run, summarize.
+func runTrial(scenarioName, defenseName, attackName string, duration time.Duration, seed int64) (trialOutcome, error) {
+	out := trialOutcome{seed: seed}
+	discard := func(string, ...any) {}
+	s, err := buildScenario(scenarioName, defenseName, seed, discard)
+	if err != nil {
+		return out, err
+	}
+	defer s.Close()
+	if err := s.Run(3 * time.Second); err != nil {
+		return out, err
+	}
+	warm(s)
+	if err := s.Run(3 * time.Second); err != nil {
+		return out, err
+	}
+	if err := launchAttack(s, scenarioName, attackName, discard, &out.ackAt); err != nil {
+		return out, err
+	}
+	if err := s.Run(duration); err != nil {
+		return out, err
+	}
+	out.links = len(s.Controller().Links())
+	out.hosts = len(s.Controller().Hosts())
+	out.alerts = len(s.Controller().Alerts())
+	return out, nil
+}
+
+// runFleet runs the same configuration across consecutive seeds on the
+// parallel executor and prints one row per trial, merged in seed order.
+func runFleet(scenarioName, defenseName, attackName string, duration time.Duration, seed int64, trials, workers int) error {
+	fmt.Printf("fleet: %d trials, scenario=%s defense=%s attack=%s duration=%s seeds=%d..%d\n",
+		trials, scenarioName, defenseName, attackName, duration, seed, seed+int64(trials)-1)
+	results, err := exp.Run(exp.Seeds(seed, trials, 1), workers, func(s int64) (trialOutcome, error) {
+		return runTrial(scenarioName, defenseName, attackName, duration, s)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-7s %-7s %-8s %s\n", "seed", "links", "hosts", "alerts", "hijack ack")
+	hijacks := 0
+	for _, r := range results {
+		ack := "-"
+		if !r.ackAt.IsZero() {
+			hijacks++
+			ack = r.ackAt.Format("15:04:05.000")
+		}
+		fmt.Printf("%-8d %-7d %-7d %-8d %s\n", r.seed, r.links, r.hosts, r.alerts, ack)
+	}
+	if attackName == "port-probing" {
+		fmt.Printf("hijacks completed: %d/%d\n", hijacks, trials)
+	}
+	return nil
+}
+
 func warm(s *core.Scenario) {
 	pairs := [][2]string{
 		{core.HostClient, core.HostServer},
@@ -169,7 +253,10 @@ func warm(s *core.Scenario) {
 	}
 }
 
-func launchAttack(s *core.Scenario, scenarioName, attackName string) error {
+// launchAttack arms the named attack. Progress goes through logf so fleet
+// trials stay silent; ackAt (optional) receives the controller-ack time of
+// a completed port-probing hijack.
+func launchAttack(s *core.Scenario, scenarioName, attackName string, logf func(string, ...any), ackAt *time.Time) error {
 	a := s.Net.Host(core.HostAttackerA)
 	b := s.Net.Host(core.HostAttackerB)
 	switch attackName {
@@ -202,11 +289,14 @@ func launchAttack(s *core.Scenario, scenarioName, attackName string) error {
 		hj := attack.NewHijack(s.Net.Kernel, a, victim.IP(), attack.DefaultHijackConfig(core.AttackerLocFig2()))
 		s.Controller().Register(hj)
 		hj.Start(func(tl attack.Timeline) {
-			fmt.Printf("[attack] hijack complete: controller ack at %s\n", tl.ControllerAck.Format("15:04:05.000"))
+			if ackAt != nil {
+				*ackAt = tl.ControllerAck
+			}
+			logf("[attack] hijack complete: controller ack at %s", tl.ControllerAck.Format("15:04:05.000"))
 		})
 		// The victim migrates 10 virtual seconds in.
 		s.Net.Kernel.Schedule(10*time.Second, func() {
-			fmt.Println("[victim] beginning migration (interface down)")
+			logf("[victim] beginning migration (interface down)")
 			victim.InterfaceDown()
 		})
 	case "alert-flood":

@@ -1,0 +1,76 @@
+package controller
+
+import (
+	"testing"
+
+	"sdntamper/internal/sim"
+)
+
+// White-box benchmarks of the reactive-forwarding hot path: shortest-path
+// resolution and egress-port selection. These are the per-PacketIn costs
+// the topology cache amortizes (BENCH_pr1.json records the before/after).
+
+// benchLineTopology wires a bidirectional line of n switches directly into
+// the controller's link tables, the way LLDP discovery would.
+func benchLineTopology(b *testing.B, n int) (*Controller, *sim.Kernel) {
+	b.Helper()
+	k := sim.New()
+	c := New(k)
+	b.Cleanup(c.Shutdown)
+	now := k.Now()
+	for i := 1; i < n; i++ {
+		fwd := Link{
+			Src: PortRef{DPID: uint64(i), Port: 2},
+			Dst: PortRef{DPID: uint64(i + 1), Port: 1},
+		}
+		rev := fwd.Reverse()
+		c.links[fwd], c.linkBorn[fwd] = now, now
+		c.links[rev], c.linkBorn[rev] = now, now
+	}
+	return c, k
+}
+
+func benchShortestPath(b *testing.B, n int) {
+	c, _ := benchLineTopology(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path, ok := c.shortestPath(1, uint64(n))
+		if !ok || len(path) != n {
+			b.Fatalf("path = %v ok = %v", path, ok)
+		}
+	}
+}
+
+// benchEgress resolves one egress port, failing the benchmark on a miss.
+func benchEgress(b *testing.B, c *Controller, from, to uint64) {
+	if _, ok := c.egressPort(from, to); !ok {
+		b.Fatal("no egress port")
+	}
+}
+
+func BenchmarkShortestPathLine8(b *testing.B)  { benchShortestPath(b, 8) }
+func BenchmarkShortestPathLine32(b *testing.B) { benchShortestPath(b, 32) }
+
+func BenchmarkEgressPortLine32(b *testing.B) {
+	c, _ := benchLineTopology(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchEgress(b, c, 16, 17)
+	}
+}
+
+func BenchmarkPathAndPortsLine32(b *testing.B) {
+	// One full reactive-forwarding resolution: path plus every egress port
+	// along it, as forward()/installPath() perform per PacketIn.
+	c, _ := benchLineTopology(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path, ok := c.shortestPath(1, 32)
+		if !ok {
+			b.Fatal("no path")
+		}
+		for j := 0; j+1 < len(path); j++ {
+			benchEgress(b, c, path[j], path[j+1])
+		}
+	}
+}

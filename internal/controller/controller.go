@@ -50,6 +50,7 @@ type Controller struct {
 
 	links       map[Link]time.Time // link -> last refresh
 	linkBorn    map[Link]time.Time // link -> first discovery
+	topo        topoCache          // derived forwarding views of links
 	hosts       map[packet.MAC]*HostEntry
 	flowModLog  []openflow.FlowMod
 	floodCache  map[uint64]floodEntry
@@ -250,10 +251,15 @@ func (c *Controller) handlePortStatus(dpid uint64, msg *openflow.PortStatus) {
 	ev := &PortStatusEvent{DPID: dpid, Status: msg, When: c.kernel.Now()}
 	if ev.Down() {
 		ref := ev.Loc()
+		evicted := false
 		for l := range c.links {
 			if l.Src == ref || l.Dst == ref {
 				delete(c.links, l)
+				evicted = true
 			}
+		}
+		if evicted {
+			c.invalidateTopo()
 		}
 	}
 	for _, o := range c.portObservers {
@@ -396,6 +402,7 @@ func (c *Controller) LinkPorts() map[PortRef]bool {
 func (c *Controller) RemoveLink(l Link) {
 	delete(c.links, l)
 	delete(c.linkBorn, l)
+	c.invalidateTopo()
 }
 
 // HostByMAC implements API.

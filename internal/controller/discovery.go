@@ -94,6 +94,11 @@ func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
 	} else if t, ok := c.pendingLLDP[src]; ok {
 		sentAt = t
 	}
+	// Consume the pending departure timestamp: one emission legitimizes
+	// exactly one receipt. A replayed or delayed copy of this frame must
+	// not inherit a later emission's timestamp, which would understate the
+	// link latency precisely where the LLI depends on it.
+	delete(c.pendingLLDP, src)
 
 	_, exists := c.links[l]
 	linkEv := &LinkEvent{
@@ -111,6 +116,9 @@ func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
 	if linkEv.IsNew {
 		c.logf("link discovered: %s", l)
 		c.linkBorn[l] = ev.When
+		// A refresh only bumps the last-seen time; only a genuinely new
+		// link changes the forwarding views.
+		c.invalidateTopo()
 	}
 	c.links[l] = ev.When
 	for _, o := range c.linkObservers {
@@ -120,14 +128,26 @@ func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
 
 // sweepLinks evicts links that have not been re-verified within the
 // profile's link timeout (Table III: timeout exceeds the probe interval by
-// 2-3x so isolated missed probes do not flap the topology).
+// 2-3x so isolated missed probes do not flap the topology). It also ages
+// out pending LLDP departure timestamps whose probes never came back, so
+// a long-delayed frame cannot resurrect a stale emission time.
 func (c *Controller) sweepLinks() {
 	now := c.kernel.Now()
+	evicted := false
 	for l, seen := range c.links {
 		if now.Sub(seen) >= c.profile.LinkTimeout {
 			delete(c.links, l)
 			delete(c.linkBorn, l)
+			evicted = true
 			c.logf("link timed out: %s", l)
+		}
+	}
+	if evicted {
+		c.invalidateTopo()
+	}
+	for ref, sent := range c.pendingLLDP {
+		if now.Sub(sent) >= c.profile.LinkTimeout {
+			delete(c.pendingLLDP, ref)
 		}
 	}
 }

@@ -28,14 +28,23 @@ func (c *Controller) forward(ev *PacketInEvent) {
 		c.flood(ev)
 		return
 	}
-	c.installPath(path, target.Loc.Port, dst)
+	if !c.installPath(path, target.Loc.Port, dst) {
+		// A hop had no egress port (the link set changed under the path):
+		// fall back to flooding rather than installing flows toward a
+		// nonexistent port.
+		c.flood(ev)
+		return
+	}
 	// Release the triggering packet along the now-programmed path.
 	first := path[0]
-	var out uint32
-	if len(path) == 1 {
-		out = target.Loc.Port
-	} else {
-		out = c.egressPort(path[0], path[1])
+	out := target.Loc.Port
+	if len(path) > 1 {
+		p, ok := c.egressPort(path[0], path[1])
+		if !ok {
+			c.flood(ev)
+			return
+		}
+		out = p
 	}
 	c.sendPacketOut(first, ev.InPort, []openflow.Action{openflow.Output(out)}, ev.Data)
 }
@@ -102,46 +111,37 @@ func (c *Controller) flood(ev *PacketInEvent) {
 	}
 }
 
-// shortestPath runs BFS over the directed link topology, returning the
-// switch sequence from src to dst (inclusive).
+// shortestPath resolves the switch sequence from src to dst (inclusive)
+// over the directed link topology. Results are memoized per (src, dst) in
+// the topology cache until the link set changes, so steady-state
+// Packet-Ins skip the BFS entirely. The returned slice is shared with the
+// cache: callers must treat it as read-only.
 func (c *Controller) shortestPath(src, dst uint64) ([]uint64, bool) {
 	if src == dst {
 		return []uint64{src}, true
 	}
-	adj := make(map[uint64][]uint64)
-	for l := range c.links {
-		adj[l.Src.DPID] = append(adj[l.Src.DPID], l.Dst.DPID)
+	t := c.ensureTopo()
+	key := switchPair{src: src, dst: dst}
+	if path, hit := t.paths[key]; hit {
+		return path, path != nil
 	}
-	prev := map[uint64]uint64{src: src}
-	queue := []uint64{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, next := range adj[cur] {
-			if _, seen := prev[next]; seen {
-				continue
-			}
-			prev[next] = cur
-			if next == dst {
-				var path []uint64
-				for at := dst; ; at = prev[at] {
-					path = append([]uint64{at}, path...)
-					if at == src {
-						return path, true
-					}
-				}
-			}
-			queue = append(queue, next)
-		}
-	}
-	return nil, false
+	path := bfsPath(t.adj, src, dst)
+	t.paths[key] = path
+	return path, path != nil
 }
 
-// egressPort finds the local port on switch a that reaches switch b.
-// Among parallel links the earliest-discovered one wins (ties broken by
-// port number), so a later-fabricated parallel link does not displace an
-// established trunk from routing decisions.
-func (c *Controller) egressPort(a, b uint64) uint32 {
+// egressPort finds the local port on switch a that reaches switch b,
+// reporting false when no such link exists (callers fall back to
+// flooding). Among parallel links the earliest-discovered one wins (ties
+// broken by port number), so a later-fabricated parallel link does not
+// displace an established trunk from routing decisions. Selections are
+// memoized per switch pair until the link set changes.
+func (c *Controller) egressPort(a, b uint64) (uint32, bool) {
+	t := c.ensureTopo()
+	key := switchPair{src: a, dst: b}
+	if sel, hit := t.egress[key]; hit {
+		return sel.port, sel.found
+	}
 	var best Link
 	found := false
 	for l := range c.links {
@@ -157,31 +157,45 @@ func (c *Controller) egressPort(a, b uint64) uint32 {
 			best = l
 		}
 	}
-	return best.Src.Port
+	t.egress[key] = egressSel{port: best.Src.Port, found: found}
+	if !found {
+		return 0, false
+	}
+	return best.Src.Port, true
 }
 
 // installPath pushes destination-match flow rules along the switch path,
-// ending at the destination host's access port.
-func (c *Controller) installPath(path []uint64, finalPort uint32, dst packet.MAC) {
+// ending at the destination host's access port. It resolves every egress
+// port before touching any switch and reports false — installing nothing —
+// if any hop lacks one, so a half-programmed path toward a nonexistent
+// port can never be committed.
+func (c *Controller) installPath(path []uint64, finalPort uint32, dst packet.MAC) bool {
+	outs := make([]uint32, len(path))
+	for i, dpid := range path {
+		if i == len(path)-1 {
+			outs[i] = finalPort
+			continue
+		}
+		out, ok := c.egressPort(dpid, path[i+1])
+		if !ok {
+			return false
+		}
+		outs[i] = out
+	}
 	match := openflow.Match{
 		Wildcards: openflow.WildAll &^ openflow.WildEthDst,
 		Fields:    openflow.Fields{EthDst: dst},
 	}
 	for i, dpid := range path {
-		var out uint32
-		if i == len(path)-1 {
-			out = finalPort
-		} else {
-			out = c.egressPort(dpid, path[i+1])
-		}
 		c.sendFlowMod(dpid, &openflow.FlowMod{
 			Command:     openflow.FlowAdd,
 			Match:       match,
 			Priority:    flowPriority,
 			IdleTimeout: flowIdleTimeoutSecs,
-			Actions:     []openflow.Action{openflow.Output(out)},
+			Actions:     []openflow.Action{openflow.Output(outs[i])},
 		})
 	}
+	return true
 }
 
 // PathBetweenHosts reports the switch path currently serving traffic from
@@ -192,5 +206,13 @@ func (c *Controller) PathBetweenHosts(src, dst packet.MAC) ([]uint64, bool) {
 	if !okS || !okD {
 		return nil, false
 	}
-	return c.shortestPath(s.Loc.DPID, d.Loc.DPID)
+	path, ok := c.shortestPath(s.Loc.DPID, d.Loc.DPID)
+	if !ok {
+		return nil, false
+	}
+	// The cached path is shared with the forwarding hot path; hand
+	// external callers their own copy.
+	out := make([]uint64, len(path))
+	copy(out, path)
+	return out, true
 }

@@ -32,8 +32,9 @@ func TestEgressPortPrefersOldestParallelLink(t *testing.T) {
 	c.links[young] = k.Now()
 	c.linkBorn[young] = k.Now()
 	// The younger link has the lower port number; age must still win.
-	if got := c.egressPort(1, 2); got != 9 {
-		t.Fatalf("egress = %d, want the older link's port 9", got)
+	got, ok := c.egressPort(1, 2)
+	if !ok || got != 9 {
+		t.Fatalf("egress = %d ok=%v, want the older link's port 9", got, ok)
 	}
 }
 
@@ -44,8 +45,9 @@ func TestEgressPortTieBreaksByPortNumber(t *testing.T) {
 	now := k.Now()
 	c.links[a], c.linkBorn[a] = now, now
 	c.links[b], c.linkBorn[b] = now, now
-	if got := c.egressPort(1, 2); got != 3 {
-		t.Fatalf("egress = %d, want lowest port on equal age", got)
+	got, ok := c.egressPort(1, 2)
+	if !ok || got != 3 {
+		t.Fatalf("egress = %d ok=%v, want lowest port on equal age", got, ok)
 	}
 }
 

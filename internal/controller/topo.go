@@ -1,0 +1,91 @@
+package controller
+
+import "sort"
+
+// topoCache holds incrementally maintained derived views of the link
+// topology so the reactive-forwarding hot path does not rebuild them per
+// Packet-In: the BFS adjacency map, memoized per-(src,dst) shortest
+// paths, and the selected egress port per adjacent switch pair. The
+// views are dropped wholesale whenever the link set (or a link's birth
+// time, which drives parallel-link tie-breaking) changes — link adds,
+// timeout sweeps, Port-Down evictions — and rebuilt lazily on the next
+// query; a plain LLDP refresh of an existing link leaves them intact.
+type topoCache struct {
+	valid  bool
+	adj    map[uint64][]uint64      // switch -> neighbor DPIDs, ascending
+	paths  map[switchPair][]uint64  // memoized BFS results; nil = no path
+	egress map[switchPair]egressSel // memoized egress-port selections
+}
+
+// switchPair keys the per-(src,dst) caches.
+type switchPair struct {
+	src uint64
+	dst uint64
+}
+
+// egressSel is one cached egressPort answer.
+type egressSel struct {
+	port  uint32
+	found bool
+}
+
+// invalidateTopo drops every derived topology view; the next forwarding
+// query rebuilds them from c.links.
+func (c *Controller) invalidateTopo() { c.topo.valid = false }
+
+// ensureTopo rebuilds the derived views after an invalidation and returns
+// the cache. The adjacency lists are deduplicated (parallel links collapse
+// to one neighbor entry) and sorted ascending, so BFS tie-breaking is
+// deterministic rather than at the mercy of map iteration order.
+func (c *Controller) ensureTopo() *topoCache {
+	t := &c.topo
+	if t.valid {
+		return t
+	}
+	adj := make(map[uint64][]uint64)
+	seen := make(map[switchPair]bool, len(c.links))
+	for l := range c.links {
+		p := switchPair{src: l.Src.DPID, dst: l.Dst.DPID}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		adj[p.src] = append(adj[p.src], p.dst)
+	}
+	for _, neighbors := range adj {
+		sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	}
+	t.adj = adj
+	t.paths = make(map[switchPair][]uint64)
+	t.egress = make(map[switchPair]egressSel)
+	t.valid = true
+	return t
+}
+
+// bfsPath runs breadth-first search over the adjacency map, returning the
+// switch sequence from src to dst inclusive, or nil when unreachable.
+func bfsPath(adj map[uint64][]uint64, src, dst uint64) []uint64 {
+	prev := map[uint64]uint64{src: src}
+	queue := []uint64{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, visited := prev[next]; visited {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				var path []uint64
+				for at := dst; ; at = prev[at] {
+					path = append([]uint64{at}, path...)
+					if at == src {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}

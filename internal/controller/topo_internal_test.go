@@ -1,0 +1,150 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/lldp"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+)
+
+// Regression and invalidation tests for the forwarding hot-path cache and
+// the discovery bookkeeping fixes (missing egress port, pending-LLDP
+// consumption and aging).
+
+func TestEgressPortMissingLinkReportsNotFound(t *testing.T) {
+	c, _ := newBareController(t)
+	// Regression: this used to return the Link zero value's port 0, and
+	// installPath would program flows toward the nonexistent port.
+	if p, ok := c.egressPort(1, 2); ok {
+		t.Fatalf("egress = (%d, true) for a nonexistent link", p)
+	}
+	// The miss is memoized too; ask again to exercise the cached answer.
+	if _, ok := c.egressPort(1, 2); ok {
+		t.Fatal("cached egress miss reported found")
+	}
+}
+
+func TestInstallPathAbortsOnMissingEgress(t *testing.T) {
+	c, k := newBareController(t)
+	l := Link{Src: PortRef{DPID: 1, Port: 2}, Dst: PortRef{DPID: 2, Port: 1}}
+	c.links[l], c.linkBorn[l] = k.Now(), k.Now()
+	// Hop 2->3 has no link: nothing at all may be installed.
+	if c.installPath([]uint64{1, 2, 3}, 7, packet.MustMAC("aa:aa:aa:aa:aa:aa")) {
+		t.Fatal("installPath reported success across a missing hop")
+	}
+	if n := len(c.FlowModLog()); n != 0 {
+		t.Fatalf("half-programmed path: %d FlowMods installed", n)
+	}
+}
+
+// sentAtRecorder captures the SentAt of every accepted link update.
+type sentAtRecorder struct {
+	sentAt []time.Time
+}
+
+func (r *sentAtRecorder) ModuleName() string { return "test/sent-at-recorder" }
+
+func (r *sentAtRecorder) ObserveLink(ev *LinkEvent) { r.sentAt = append(r.sentAt, ev.SentAt) }
+
+func TestLLDPReplayDoesNotInheritDepartureTimestamp(t *testing.T) {
+	c, k := newBareController(t)
+	rec := &sentAtRecorder{}
+	c.Register(rec)
+
+	src := PortRef{DPID: 1, Port: 2}
+	emittedAt := k.Now()
+	c.pendingLLDP[src] = emittedAt
+	if err := k.RunFor(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := &lldp.Frame{ChassisID: 1, PortID: 2, TTLSecs: 120}
+	first := &PacketInEvent{DPID: 2, InPort: 3, IsLLDP: true, LLDP: frame, When: k.Now()}
+	c.handleLLDPIn(first)
+	if len(rec.sentAt) != 1 || !rec.sentAt[0].Equal(emittedAt) {
+		t.Fatalf("first receipt SentAt = %v, want emission time %v", rec.sentAt, emittedAt)
+	}
+	if _, ok := c.pendingLLDP[src]; ok {
+		t.Fatal("pending departure timestamp not consumed on receipt")
+	}
+
+	// An attacker replays the captured frame 100ms later. Before the fix
+	// the stale pending entry made the link look 100ms *younger* than it
+	// is, understating latency exactly where the LLI relies on it.
+	if err := k.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	replay := &PacketInEvent{DPID: 2, InPort: 3, IsLLDP: true, LLDP: frame, When: k.Now()}
+	c.handleLLDPIn(replay)
+	if len(rec.sentAt) != 2 {
+		t.Fatalf("link updates = %d, want 2", len(rec.sentAt))
+	}
+	if rec.sentAt[1].Equal(emittedAt) {
+		t.Fatal("replay inherited the consumed departure timestamp")
+	}
+	if !rec.sentAt[1].Equal(replay.When) {
+		t.Fatalf("replay SentAt = %v, want receive-time fallback %v", rec.sentAt[1], replay.When)
+	}
+}
+
+func TestSweepAgesOutStalePendingLLDP(t *testing.T) {
+	c, k := newBareController(t)
+	c.pendingLLDP[PortRef{DPID: 1, Port: 2}] = k.Now()
+	// The probe never returns; the periodic sweep must reclaim the entry
+	// once it exceeds the profile's link timeout.
+	if err := k.RunFor(c.profile.LinkTimeout + 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.pendingLLDP); n != 0 {
+		t.Fatalf("stale pending LLDP entries = %d, want 0", n)
+	}
+}
+
+func TestShortestPathCacheSeesLinkAddAndRemove(t *testing.T) {
+	c, k := newBareController(t)
+	now := k.Now()
+	add := func(a, b uint64) Link {
+		l := Link{Src: PortRef{DPID: a, Port: uint32(10*a + b)}, Dst: PortRef{DPID: b, Port: uint32(10*b + a)}}
+		c.links[l], c.linkBorn[l] = now, now
+		c.invalidateTopo()
+		return l
+	}
+	add(1, 2)
+	mid := add(2, 3)
+	if path, ok := c.shortestPath(1, 3); !ok || len(path) != 3 {
+		t.Fatalf("path = %v ok=%v", path, ok)
+	}
+	// Repeat queries hit the memo and must agree.
+	if path, ok := c.shortestPath(1, 3); !ok || len(path) != 3 {
+		t.Fatalf("cached path = %v ok=%v", path, ok)
+	}
+	// A new shortcut must displace the memoized 3-hop answer.
+	add(1, 3)
+	if path, ok := c.shortestPath(1, 3); !ok || len(path) != 2 {
+		t.Fatalf("path after shortcut = %v ok=%v", path, ok)
+	}
+	// Removing links through the API must invalidate as well.
+	c.RemoveLink(Link{Src: PortRef{DPID: 1, Port: 13}, Dst: PortRef{DPID: 3, Port: 31}})
+	c.RemoveLink(mid)
+	if path, ok := c.shortestPath(1, 3); ok {
+		t.Fatalf("path = %v across removed links", path)
+	}
+}
+
+func TestEgressCacheInvalidatedByPortDown(t *testing.T) {
+	c, k := newBareController(t)
+	l := Link{Src: PortRef{DPID: 1, Port: 4}, Dst: PortRef{DPID: 2, Port: 5}}
+	c.links[l], c.linkBorn[l] = k.Now(), k.Now()
+	if p, ok := c.egressPort(1, 2); !ok || p != 4 {
+		t.Fatalf("egress = (%d, %v), want (4, true)", p, ok)
+	}
+	c.handlePortStatus(1, &openflow.PortStatus{
+		Reason: openflow.PortReasonModify,
+		Desc:   openflow.PortDesc{No: 4, Up: false},
+	})
+	if p, ok := c.egressPort(1, 2); ok {
+		t.Fatalf("egress = (%d, true) after the port went down", p)
+	}
+}

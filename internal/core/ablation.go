@@ -5,6 +5,7 @@ import (
 
 	"sdntamper/internal/attack"
 	"sdntamper/internal/controller"
+	"sdntamper/internal/exp"
 	"sdntamper/internal/stats"
 	"sdntamper/internal/tgplus"
 )
@@ -39,17 +40,21 @@ func RunLLIAblation(seed int64, multipliers []float64, windowSizes []int, runFor
 	if runFor <= 0 {
 		runFor = 4 * time.Minute
 	}
-	var rows []LLIAblationRow
+	type lliConfig struct {
+		k float64
+		w int
+	}
+	configs := make([]lliConfig, 0, len(multipliers)*len(windowSizes))
 	for _, k := range multipliers {
 		for _, w := range windowSizes {
-			row, err := runOneLLIAblation(seed, k, w, runFor)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+			configs = append(configs, lliConfig{k: k, w: w})
 		}
 	}
-	return rows, nil
+	// Each configuration owns a fresh scenario and kernel, so the sweep
+	// shards cleanly across workers; the executor keeps grid order.
+	return exp.Grid(configs, 0, func(cfg lliConfig) (LLIAblationRow, error) {
+		return runOneLLIAblation(seed, cfg.k, cfg.w, runFor)
+	})
 }
 
 func runOneLLIAblation(seed int64, k float64, window int, runFor time.Duration) (LLIAblationRow, error) {
@@ -123,27 +128,24 @@ func RunControlAveragingAblation(seed int64, depths []int, runFor time.Duration)
 	if runFor <= 0 {
 		runFor = 3 * time.Minute
 	}
-	var rows []ControlAveragingRow
-	for _, n := range depths {
+	return exp.Grid(depths, 0, func(n int) (ControlAveragingRow, error) {
 		cfg := tgplus.DefaultLLIConfig()
 		cfg.ControlSamples = n
 		def := TopoGuardPlus()
 		def.LLIConfig = &cfg
 		s := NewFig9Testbed(seed, def)
+		defer s.Close()
 		if err := s.Run(runFor); err != nil {
-			s.Close()
-			return nil, err
+			return ControlAveragingRow{}, err
 		}
 		var series stats.DurationSeries
 		for _, sample := range s.LLI.Samples() {
 			series.Add(sample.Latency)
 		}
-		rows = append(rows, ControlAveragingRow{
+		return ControlAveragingRow{
 			ControlSamples: n,
 			LatencyMean:    series.Mean(),
 			LatencyStd:     series.Std(),
-		})
-		s.Close()
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
+
+	"sdntamper/internal/stats"
 )
 
 // TestRunsAreReproducible guards the repository's core promise: identical
@@ -39,6 +42,46 @@ func TestHijackRunsReproducible(t *testing.T) {
 	for i := range a {
 		if a[i].Offset != b[i].Offset {
 			t.Fatalf("timelines diverged at %d: %v vs %v", i, a[i].Offset, b[i].Offset)
+		}
+	}
+}
+
+// TestParallelExecutorByteIdentical pins the parallel executor's core
+// contract: for a fixed seed set, the merged distributions are
+// byte-for-byte identical to the serial path across every series,
+// regardless of worker count.
+func TestParallelExecutorByteIdentical(t *testing.T) {
+	render := func(d *HijackDistributions) string {
+		out := fmt.Sprintf("failed=%d\n", d.Failed)
+		for _, s := range []struct {
+			name   string
+			series *stats.DurationSeries
+		}{
+			{"lastPingStart", &d.LastPingStart},
+			{"knownOffline", &d.KnownOffline},
+			{"attackerUp", &d.AttackerUp},
+			{"controllerAck", &d.ControllerAck},
+			{"identityChange", &d.IdentityChange},
+			{"probeTimeouts", &d.ProbeTimeouts},
+		} {
+			// Samples() is insertion order: merge order itself is pinned,
+			// not just the distribution.
+			out += fmt.Sprintf("%s %v %s\n", s.name, s.series.Samples(), s.series.Summary())
+		}
+		return out
+	}
+	serial, err := RunHijackDistributions(4242, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(serial)
+	for _, workers := range []int{0, 2, 5} {
+		par, err := RunHijackDistributionsParallel(4242, 10, false, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(par); got != want {
+			t.Fatalf("workers=%d diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", workers, want, got)
 		}
 	}
 }

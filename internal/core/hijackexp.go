@@ -36,34 +36,36 @@ type HijackDistributions struct {
 	Failed         int
 }
 
+// hijackSeedStride spaces per-run kernel seeds; a prime keeps derived
+// seeds from colliding across experiments that offset the base seed by
+// small integers.
+const hijackSeedStride = 7919
+
+// merge folds one completed (or failed) run into the aggregate series.
+// Trials must be merged in seed order so the aggregates are deterministic.
+func (d *HijackDistributions) merge(o hijackOutcome) {
+	if o.run == nil {
+		d.Failed++
+		return
+	}
+	down := o.run.victimDown
+	d.LastPingStart.Add(o.run.timeline.LastPingStart.Sub(down))
+	d.KnownOffline.Add(o.run.timeline.KnownOffline.Sub(down))
+	d.AttackerUp.Add(o.run.timeline.IdentityChanged.Sub(down))
+	d.ControllerAck.Add(o.run.timeline.ControllerAck.Sub(down))
+	d.IdentityChange.Add(o.run.timeline.IdentityChangeTook)
+	d.ProbeTimeouts.Add(o.timeout)
+}
+
 // RunHijackDistributions executes the port-probing hijack in fresh
 // Figure 2 scenarios (TopoGuard and SPHINX both deployed, as in the
 // paper's runs) and collects the timing distributions. withToolOverhead
 // selects between the nmap-cost model (Table I's 133.5 ms ARP scan) and
-// the mechanism-only measurement.
+// the mechanism-only measurement. Runs execute serially on the calling
+// goroutine; RunHijackDistributionsParallel shards them across workers
+// with bit-for-bit identical output.
 func RunHijackDistributions(seed int64, runs int, withToolOverhead bool) (*HijackDistributions, error) {
-	if runs <= 0 {
-		runs = 100
-	}
-	out := &HijackDistributions{}
-	for i := 0; i < runs; i++ {
-		tl, timeout, err := runOneHijack(seed+int64(i)*7919, withToolOverhead)
-		if err != nil {
-			return nil, fmt.Errorf("run %d: %w", i, err)
-		}
-		if tl == nil {
-			out.Failed++
-			continue
-		}
-		down := tl.victimDown
-		out.LastPingStart.Add(tl.timeline.LastPingStart.Sub(down))
-		out.KnownOffline.Add(tl.timeline.KnownOffline.Sub(down))
-		out.AttackerUp.Add(tl.timeline.IdentityChanged.Sub(down))
-		out.ControllerAck.Add(tl.timeline.ControllerAck.Sub(down))
-		out.IdentityChange.Add(tl.timeline.IdentityChangeTook)
-		out.ProbeTimeouts.Add(timeout)
-	}
-	return out, nil
+	return RunHijackDistributionsParallel(seed, runs, withToolOverhead, 1)
 }
 
 type hijackRun struct {

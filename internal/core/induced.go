@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"sdntamper/internal/attack"
+	"sdntamper/internal/exp"
 	"sdntamper/internal/hypervisor"
 	"sdntamper/internal/packet"
+	"sdntamper/internal/stats"
 )
 
 // InducedMigrationResult reports one end-to-end run of the Section IV-B
@@ -32,6 +34,48 @@ type InducedMigrationResult struct {
 	AlertsDuringWindow int
 	// AlertsAfterReturn counts alerts once the victim re-appeared.
 	AlertsAfterReturn int
+}
+
+// InducedMigrationSummary aggregates RunInducedMigration over many seeded
+// trials: how often the attacker wins the migration race, how long the
+// balancer's hysteresis delays the trigger, and the downtime windows the
+// balancer produced.
+type InducedMigrationSummary struct {
+	Runs         int
+	Wins         int
+	WinRate      float64
+	TriggerDelay stats.DurationSeries // load raised -> migration start
+	Downtime     stats.DurationSeries // live-migration window
+	AlertsDuring int                  // summed over runs, before victim return
+	AlertsAfter  int                  // summed over runs, after victim return
+}
+
+// inducedSeedStride spaces per-trial kernel seeds (a prime, as elsewhere).
+const inducedSeedStride = 104729
+
+// RunInducedMigrationSeries runs the induced-migration hijack across many
+// seeded trials on the parallel executor and merges the outcomes in seed
+// order. workers <= 0 uses one worker per CPU.
+func RunInducedMigrationSeries(seed int64, runs, workers int) (*InducedMigrationSummary, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	results, err := exp.Run(exp.Seeds(seed, runs, inducedSeedStride), workers, RunInducedMigration)
+	if err != nil {
+		return nil, err
+	}
+	out := &InducedMigrationSummary{Runs: runs}
+	for _, r := range results {
+		if r.HijackWon {
+			out.Wins++
+		}
+		out.TriggerDelay.Add(r.MigrationStartedAt.Sub(r.LoadRaisedAt))
+		out.Downtime.Add(r.Downtime)
+		out.AlertsDuring += r.AlertsDuringWindow
+		out.AlertsAfter += r.AlertsAfterReturn
+	}
+	out.WinRate = float64(out.Wins) / float64(runs)
+	return out, nil
 }
 
 // RunInducedMigration executes the induced-migration hijack on the

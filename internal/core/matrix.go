@@ -6,6 +6,7 @@ import (
 	"sdntamper/internal/attack"
 	"sdntamper/internal/controller"
 	"sdntamper/internal/dataplane"
+	"sdntamper/internal/exp"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sphinx"
 	"sdntamper/internal/tgplus"
@@ -38,43 +39,42 @@ type MatrixRow struct {
 // RunAttackMatrix reproduces the paper's headline result as a matrix:
 // each attack is executed against TopoGuard, SPHINX and TOPOGUARD+
 // (TopoGuard + CMM + LLI) in fresh scenarios, and each cell reports
-// whether the attack succeeded undetected.
+// whether the attack succeeded undetected. The attack rows shard across
+// worker goroutines (every cell owns a private scenario); row order and
+// per-cell seeds match the serial sweep exactly.
 func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
 	type cell func(def Defenses, s int64) (Verdict, error)
-	run3 := func(name string, fn cell, s int64) (MatrixRow, error) {
-		row := MatrixRow{Attack: name}
+	type spec struct {
+		name string
+		fn   cell
+		seed int64
+	}
+	run3 := func(sp spec) (MatrixRow, error) {
+		row := MatrixRow{Attack: sp.name}
 		var err error
-		if row.VsTopoGuard, err = fn(TopoGuardOnly(), s); err != nil {
+		if row.VsTopoGuard, err = sp.fn(TopoGuardOnly(), sp.seed); err != nil {
 			return row, err
 		}
-		if row.VsSphinx, err = fn(SphinxOnly(), s+1); err != nil {
+		if row.VsSphinx, err = sp.fn(SphinxOnly(), sp.seed+1); err != nil {
 			return row, err
 		}
-		if row.VsTGPlus, err = fn(TopoGuardPlus(), s+2); err != nil {
+		if row.VsTGPlus, err = sp.fn(TopoGuardPlus(), sp.seed+2); err != nil {
 			return row, err
 		}
 		return row, nil
 	}
 
-	var rows []MatrixRow
-	specs := []struct {
-		name string
-		fn   cell
-	}{
-		{"naive link fabrication (LLDP relay)", runFabricationCell(false)},
-		{"OOB port amnesia + link fabrication", runFabricationCell(true)},
-		{"in-band port amnesia + link fabrication", runInBandCell},
-		{"naive host hijack (victim online)", runNaiveHijackCell},
-		{"port probing + host hijack (victim in transit)", runPortProbingCell},
+	specs := []spec{
+		{name: "naive link fabrication (LLDP relay)", fn: runFabricationCell(false)},
+		{name: "OOB port amnesia + link fabrication", fn: runFabricationCell(true)},
+		{name: "in-band port amnesia + link fabrication", fn: runInBandCell},
+		{name: "naive host hijack (victim online)", fn: runNaiveHijackCell},
+		{name: "port probing + host hijack (victim in transit)", fn: runPortProbingCell},
 	}
-	for i, spec := range specs {
-		row, err := run3(spec.name, spec.fn, seed+int64(i)*101)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+	for i := range specs {
+		specs[i].seed = seed + int64(i)*101
 	}
-	return rows, nil
+	return exp.Grid(specs, 0, run3)
 }
 
 // fabricationAlertReasons are the alert codes that count as detecting a

@@ -1,69 +1,38 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
 	"time"
+
+	"sdntamper/internal/exp"
 )
+
+// hijackOutcome is one trial's contribution to the Figure 5-8 aggregates.
+type hijackOutcome struct {
+	run     *hijackRun
+	timeout time.Duration
+}
 
 // RunHijackDistributionsParallel is RunHijackDistributions spread across
 // worker goroutines: each attack run owns a private simulation kernel, so
-// runs are embarrassingly parallel and results (keyed by per-run seeds)
-// are identical to the sequential version regardless of scheduling.
+// runs are embarrassingly parallel, and the executor merges results in
+// seed order, making the aggregates identical to the sequential version
+// regardless of scheduling. workers <= 0 uses one worker per CPU;
+// workers == 1 runs inline on the calling goroutine (the serial path).
 func RunHijackDistributionsParallel(seed int64, runs int, withToolOverhead bool, workers int) (*HijackDistributions, error) {
 	if runs <= 0 {
 		runs = 100
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	results, err := exp.Run(exp.Seeds(seed, runs, hijackSeedStride), workers,
+		func(s int64) (hijackOutcome, error) {
+			run, timeout, err := runOneHijack(s, withToolOverhead)
+			return hijackOutcome{run: run, timeout: timeout}, err
+		})
+	if err != nil {
+		return nil, err
 	}
-	if workers > runs {
-		workers = runs
-	}
-
-	type outcome struct {
-		run     *hijackRun
-		timeout time.Duration
-		err     error
-	}
-	results := make([]outcome, runs)
-	jobs := make(chan int)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				run, timeout, err := runOneHijack(seed+int64(i)*7919, withToolOverhead)
-				results[i] = outcome{run: run, timeout: timeout, err: err}
-			}
-		}()
-	}
-	for i := 0; i < runs; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Merge in run order so the aggregate series are deterministic.
 	out := &HijackDistributions{}
-	for i, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("run %d: %w", i, r.err)
-		}
-		if r.run == nil {
-			out.Failed++
-			continue
-		}
-		down := r.run.victimDown
-		out.LastPingStart.Add(r.run.timeline.LastPingStart.Sub(down))
-		out.KnownOffline.Add(r.run.timeline.KnownOffline.Sub(down))
-		out.AttackerUp.Add(r.run.timeline.IdentityChanged.Sub(down))
-		out.ControllerAck.Add(r.run.timeline.ControllerAck.Sub(down))
-		out.IdentityChange.Add(r.run.timeline.IdentityChangeTook)
-		out.ProbeTimeouts.Add(r.timeout)
+	for _, o := range results {
+		out.merge(o)
 	}
 	return out, nil
 }

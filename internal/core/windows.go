@@ -5,6 +5,7 @@ import (
 
 	"sdntamper/internal/attack"
 	"sdntamper/internal/controller"
+	"sdntamper/internal/exp"
 )
 
 // DowntimeWindowRow reports, for one victim-downtime duration, how often
@@ -69,17 +70,12 @@ type ProfileSweepRow struct {
 // RunProfileSweep runs the OOB fabrication attack under each controller
 // profile from Table III. Shorter discovery intervals hand the attacker a
 // fresher relay supply (faster fabrication) but also evict the forged
-// link sooner once relaying stops.
+// link sooner once relaying stops. Profiles run as independent trials on
+// the executor; row order follows Table III regardless of scheduling.
 func RunProfileSweep(seed int64) ([]ProfileSweepRow, error) {
-	rows := make([]ProfileSweepRow, 0, 3)
-	for _, prof := range controller.Profiles() {
-		row, err := runOneProfile(seed, prof)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return exp.Grid(controller.Profiles(), 0, func(prof controller.Profile) (ProfileSweepRow, error) {
+		return runOneProfile(seed, prof)
+	})
 }
 
 func runOneProfile(seed int64, prof controller.Profile) (ProfileSweepRow, error) {

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(10, 3, 7919)
+	want := []int64{10, 10 + 7919, 10 + 2*7919}
+	if len(got) != len(want) {
+		t.Fatalf("seeds = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seeds[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if Seeds(1, 0, 1) != nil {
+		t.Fatal("zero-count seeds should be nil")
+	}
+	if Seeds(1, -3, 1) != nil {
+		t.Fatal("negative-count seeds should be nil")
+	}
+}
+
+func TestGridPreservesItemOrder(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	// Invert the natural completion order so late items finish first: the
+	// merge must still come back in item order.
+	got, err := Grid(items, 8, func(i int) (int, error) {
+		time.Sleep(time.Duration(len(items)-i) * 100 * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestGridSerialMatchesParallel(t *testing.T) {
+	trial := func(seed int64) (int64, error) { return seed * 3, nil }
+	seeds := Seeds(100, 17, 31)
+	serial, err := Run(seeds, 1, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(seeds, 5, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("result %d differs: %d vs %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestGridWorkerClamping(t *testing.T) {
+	var live, peak atomic.Int32
+	_, err := Grid([]int{1, 2, 3}, 64, func(int) (int, error) {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		live.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Fatalf("concurrency %d exceeded item count", peak.Load())
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	got, err := Grid(nil, 4, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty grid = %v, %v", got, err)
+	}
+}
+
+func TestGridErrorIsFirstInItemOrder(t *testing.T) {
+	sentinel := errors.New("boom")
+	trial := func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("item %d: %w", i, sentinel)
+		}
+		return i, nil
+	}
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		_, err := Grid(items, workers, trial)
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// Both modes must report the error the serial path hits first.
+		if want := "trial 3: item 3: boom"; err.Error() != want {
+			t.Fatalf("workers=%d: err = %q, want %q", workers, err, want)
+		}
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	got, err := Run(Seeds(1, 9, 1), 0, func(seed int64) (int64, error) { return seed, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != int64(i)+1 {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -47,15 +47,18 @@ func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
 
 // DurationSeries collects durations and answers distributional queries.
 // It is the workhorse for regenerating the paper's CDF figures.
+//
+// samples stays in insertion order for the life of the series; order
+// statistics work on a separately maintained sorted copy, so Min/Max/
+// Quantile never disturb what Samples returns.
 type DurationSeries struct {
 	samples []time.Duration
-	sorted  bool
+	sorted  []time.Duration
 }
 
 // Add appends one observation.
 func (s *DurationSeries) Add(d time.Duration) {
 	s.samples = append(s.samples, d)
-	s.sorted = false
 }
 
 // N reports the number of observations.
@@ -68,11 +71,15 @@ func (s *DurationSeries) Samples() []time.Duration {
 	return out
 }
 
-func (s *DurationSeries) ensureSorted() {
-	if !s.sorted {
-		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
-		s.sorted = true
+// ensureSorted returns the observations in ascending order, rebuilding the
+// sorted copy lazily after new samples arrive. The raw slice is never
+// reordered (Samples' insertion-order contract).
+func (s *DurationSeries) ensureSorted() []time.Duration {
+	if len(s.sorted) != len(s.samples) {
+		s.sorted = append(s.sorted[:0], s.samples...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
 	}
+	return s.sorted
 }
 
 // Mean reports the arithmetic mean, or 0 with no observations.
@@ -104,8 +111,7 @@ func (s *DurationSeries) Min() time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.samples[0]
+	return s.ensureSorted()[0]
 }
 
 // Max reports the largest observation, or 0 with none.
@@ -113,8 +119,8 @@ func (s *DurationSeries) Max() time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.samples[len(s.samples)-1]
+	sorted := s.ensureSorted()
+	return sorted[len(sorted)-1]
 }
 
 // Quantile reports the q-th quantile (0 <= q <= 1) using linear
@@ -124,21 +130,21 @@ func (s *DurationSeries) Quantile(q float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
-	s.ensureSorted()
+	sorted := s.ensureSorted()
 	if q <= 0 {
-		return s.samples[0]
+		return sorted[0]
 	}
 	if q >= 1 {
-		return s.samples[n-1]
+		return sorted[n-1]
 	}
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return s.samples[lo]
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return s.samples[lo] + time.Duration(frac*float64(s.samples[hi]-s.samples[lo]))
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
 }
 
 // IQRThreshold reports Q3 + k*(Q3-Q1), the Tukey-style outlier bound the
@@ -161,8 +167,8 @@ func (s *DurationSeries) Histogram(buckets int) string {
 	if len(s.samples) == 0 || buckets <= 0 {
 		return "(no samples)"
 	}
-	s.ensureSorted()
-	lo, hi := s.samples[0], s.samples[len(s.samples)-1]
+	sorted := s.ensureSorted()
+	lo, hi := sorted[0], sorted[len(sorted)-1]
 	if hi == lo {
 		hi = lo + 1
 	}
@@ -229,8 +235,10 @@ func (w *Window) Add(d time.Duration) {
 // N reports how many samples the window currently holds.
 func (w *Window) N() int { return len(w.samples) }
 
-// Full reports whether the window has wrapped at least once.
-func (w *Window) Full() bool { return w.full || len(w.samples) == w.cap }
+// Full reports whether the window has wrapped at least once, i.e. at
+// least one old observation has been evicted. Reaching capacity alone is
+// not enough: every sample is still present until the next Add.
+func (w *Window) Full() bool { return w.full }
 
 // Series copies the window contents into a DurationSeries for analysis.
 func (w *Window) Series() *DurationSeries {

@@ -275,3 +275,59 @@ func TestSummaryIncludesFields(t *testing.T) {
 		}
 	}
 }
+
+func TestSamplesInsertionOrderSurvivesOrderStatistics(t *testing.T) {
+	// Regression: ensureSorted used to sort s.samples in place, so any
+	// Min/Max/Quantile call silently destroyed Samples' documented
+	// insertion order. Interleave the two contracts aggressively.
+	var s DurationSeries
+	inserted := []time.Duration{5, 1, 4, 2, 3}
+	for i, d := range inserted {
+		s.Add(d * time.Millisecond)
+		if q := s.Quantile(0.5); q <= 0 {
+			t.Fatalf("median after %d adds = %v", i+1, q)
+		}
+	}
+	s.Min()
+	s.Max()
+	s.Quantile(0.99)
+	s.Histogram(3)
+	got := s.Samples()
+	for i, d := range inserted {
+		if got[i] != d*time.Millisecond {
+			t.Fatalf("Samples()[%d] = %v, want %v: insertion order lost (%v)",
+				i, got[i], d*time.Millisecond, got)
+		}
+	}
+	// Order statistics still answer from the sorted view.
+	if s.Min() != 1*time.Millisecond || s.Max() != 5*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if q := s.Quantile(0.5); q != 3*time.Millisecond {
+		t.Fatalf("median = %v, want 3ms", q)
+	}
+	// And adds after a sort keep both views coherent.
+	s.Add(6 * time.Millisecond)
+	if s.Max() != 6*time.Millisecond {
+		t.Fatalf("max after add = %v", s.Max())
+	}
+	if got := s.Samples(); got[len(got)-1] != 6*time.Millisecond {
+		t.Fatalf("last sample = %v, want the newest insertion", got[len(got)-1])
+	}
+}
+
+func TestWindowFullOnlyAfterEviction(t *testing.T) {
+	// Regression: Full() documented "wrapped at least once" but reported
+	// true at first fill, before anything had been evicted.
+	w := NewWindow(3)
+	w.Add(1)
+	w.Add(2)
+	w.Add(3)
+	if w.Full() {
+		t.Fatal("Full() at capacity but before any eviction")
+	}
+	w.Add(4) // evicts the 1
+	if !w.Full() {
+		t.Fatal("Full() false after the window wrapped")
+	}
+}
