@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sdntamper/internal/core"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/stats"
 )
 
@@ -31,10 +32,11 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix")
+	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
+	metricsPath := fs.String("metrics", "", "write the obs experiment's metrics snapshot to this file (.csv for CSV, anything else for JSON Lines)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,12 +62,13 @@ func run(args []string) error {
 		"secbind":    func(s int64, _ int) error { return printSecBind(s) },
 		"profiles":   func(s int64, _ int) error { return printProfiles(s) },
 		"ablation":   func(s int64, _ int) error { return printAblations(s) },
+		"obs":        func(s int64, _ int) error { return printObs(s, *metricsPath) },
 	}
 
 	if *experiment == "all" {
 		order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5678",
 			"fig10", "fig11", "fig12", "fig13", "inband", "timeout", "scan", "alertflood",
-			"windows", "profiles", "ablation", "induced", "secbind", "matrix"}
+			"windows", "profiles", "ablation", "induced", "secbind", "matrix", "obs"}
 		for _, id := range order {
 			if err := experiments[id](*seed, *runs); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
@@ -377,6 +380,74 @@ func printSecBind(seed int64) error {
 	fmt.Printf("port probing + hijack vs TopoGuard+SPHINX+SecBind: %s\n", v)
 	fmt.Println("(the legitimate victim still migrates after re-authenticating;")
 	fmt.Println(" the attacker, lacking the credential, cannot complete the move)")
+	return nil
+}
+
+// printObs runs the Figure 9 testbed under TOPOGUARD+ for two virtual
+// minutes with the full observability stack on: the deterministic metric
+// registry, the structured event bus, and the (wall-clock, hence
+// non-deterministic) kernel profile.
+func printObs(seed int64, metricsPath string) error {
+	header("OBSERVABILITY: metrics, events and kernel profile (Fig 9 testbed, TOPOGUARD+)")
+	s := core.NewFig9Testbed(seed, core.TopoGuardPlus())
+	defer s.Close()
+	profile := obs.NewKernelProfile(s.Net.Kernel, 30*time.Second)
+	if err := s.Run(2 * time.Minute); err != nil {
+		return err
+	}
+	profile.Stop()
+
+	reg := s.Net.Metrics()
+	snap := reg.Snapshot()
+	fmt.Println("deterministic registry snapshot (selected series):")
+	selected := []string{"sim_", "controller_", "defense_", "lli_"}
+	for _, c := range snap.Counters {
+		for _, p := range selected {
+			if strings.HasPrefix(c.Name, p) {
+				fmt.Printf("  %-70s %d\n", c.Name, c.Value)
+				break
+			}
+		}
+	}
+	for _, h := range snap.Histograms {
+		fmt.Printf("  %-70s n=%d p50=%s p99=%s\n", h.Name, h.Count, ms(h.P50), ms(h.P99))
+	}
+
+	bus := reg.Events()
+	events := bus.Events()
+	fmt.Printf("\nevent bus: %d retained of %d total; last 5:\n", len(events), bus.Total())
+	tail := events
+	if len(tail) > 5 {
+		tail = tail[len(tail)-5:]
+	}
+	for _, ev := range tail {
+		fmt.Printf("  %s\n", ev)
+	}
+
+	fmt.Println("\nkernel wall-time profile (non-deterministic, excluded from snapshots):")
+	for _, ws := range profile.Samples() {
+		fmt.Printf("  virtual %-8s wall %-12s events %d\n",
+			ws.VirtualEnd, ws.Wall.Truncate(time.Microsecond), ws.Events)
+	}
+
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(metricsPath, ".csv") {
+			err = snap.WriteCSV(f)
+		} else {
+			err = snap.WriteJSONL(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmetrics snapshot written to %s\n", metricsPath)
+	}
 	return nil
 }
 

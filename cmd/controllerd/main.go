@@ -3,22 +3,28 @@
 // (see internal/ofnet and cmd/ofprobe) connect as switches, and any of
 // the defense stacks can be enforced on live control traffic.
 //
-//	controllerd -addr 127.0.0.1:6653 -defense topoguard+
+//	controllerd -addr 127.0.0.1:6653 -defense topoguard+ -http 127.0.0.1:9090
 //
 // The deterministic simulation kernel is driven in real time; all the
 // controller and defense logic is byte-for-byte the code the paper
-// experiments run.
+// experiments run. With -http, the daemon additionally serves
+// Prometheus-text metrics at /metrics and the live topology as Graphviz
+// DOT at /topology.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"sdntamper/internal/controller"
 	"sdntamper/internal/lldp"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/rtnet"
 	"sdntamper/internal/sim"
 	"sdntamper/internal/sphinx"
@@ -27,17 +33,34 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	if err := run(os.Args[1:], sig, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "controllerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// defenseStacks maps each accepted -defense value to the modules it
+// enables. The bool trio is (TopoGuard, SPHINX, TopoGuard+ extensions).
+var defenseStacks = map[string][3]bool{
+	"none":       {false, false, false},
+	"topoguard":  {true, false, false},
+	"sphinx":     {false, true, false},
+	"both":       {true, true, false},
+	"topoguard+": {true, false, true},
+}
+
+// run is the daemon body, factored out of main so tests can drive it:
+// args are the command-line arguments, sig delivers the shutdown signal,
+// and all status output goes to out.
+func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	fs := flag.NewFlagSet("controllerd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:6653", "listen address for switch connections")
+	httpAddr := fs.String("http", "", "listen address for the observability HTTP endpoint (/metrics, /topology); empty disables")
 	defense := fs.String("defense", "topoguard+", "defense stack: none, topoguard, sphinx, both, topoguard+")
 	profileName := fs.String("profile", "floodlight", "timing profile: floodlight, pox, opendaylight")
+	seed := fs.Int64("seed", 0, "simulation RNG seed (0 derives one from the wall clock)")
 	status := fs.Duration("status", 10*time.Second, "status print interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,19 +77,25 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown profile %q", *profileName)
 	}
+	stack, ok := defenseStacks[*defense]
+	if !ok {
+		return fmt.Errorf("unknown defense %q (want none, topoguard, sphinx, both, or topoguard+)", *defense)
+	}
+	wantTG, wantSphinx, wantTGPlus := stack[0], stack[1], stack[2]
 
-	kernel := sim.New(sim.WithSeed(time.Now().UnixNano()))
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	fmt.Fprintf(out, "seed %d\n", *seed)
+	kernel := sim.New(sim.WithSeed(*seed))
 	opts := []controller.Option{
 		controller.WithProfile(profile),
 		controller.WithLogf(func(format string, a ...any) {
-			fmt.Printf("[ctl] "+format+"\n", a...)
+			fmt.Fprintf(out, "[ctl] "+format+"\n", a...)
 		}),
 	}
-	wantTG := *defense == "topoguard" || *defense == "both" || *defense == "topoguard+"
-	wantSphinx := *defense == "sphinx" || *defense == "both"
-	wantTGPlus := *defense == "topoguard+"
 	if wantTG || wantTGPlus {
-		kc, err := lldp.NewKeychain([]byte(fmt.Sprintf("controllerd-%d", time.Now().UnixNano())))
+		kc, err := lldp.NewKeychain([]byte(fmt.Sprintf("controllerd-%d", *seed)))
 		if err != nil {
 			return err
 		}
@@ -77,6 +106,7 @@ func run(args []string) error {
 	}
 	ctl := controller.New(kernel, opts...)
 	defer ctl.Shutdown()
+	obs.InstrumentKernel(ctl.Metrics(), kernel)
 	if wantTG {
 		ctl.Register(topoguard.New())
 	}
@@ -104,13 +134,22 @@ func run(args []string) error {
 		return err
 	}
 	defer srv.Shutdown()
-	fmt.Printf("controllerd listening on %s (profile=%s defense=%s)\n", srv.Addr(), profile.Name, *defense)
+	fmt.Fprintf(out, "controllerd listening on %s (profile=%s defense=%s)\n", srv.Addr(), profile.Name, *defense)
+
+	if *httpAddr != "" {
+		httpSrv, ln, err := serveObservability(*httpAddr, ctl, driver)
+		if err != nil {
+			return err
+		}
+		defer httpSrv.Close()
+		fmt.Fprintf(out, "observability endpoint on http://%s/metrics\n", ln.Addr())
+	}
 
 	var ticker *sim.Ticker
 	if *status > 0 {
 		driver.Call(func() {
 			ticker = kernel.NewTicker(*status, func() {
-				fmt.Printf("[status] t=%s switches=%d links=%d hosts=%d alerts=%d\n",
+				fmt.Fprintf(out, "[status] t=%s switches=%d links=%d hosts=%d alerts=%d\n",
 					kernel.Elapsed().Truncate(time.Second),
 					len(ctl.Switches()), len(ctl.Links()), len(ctl.Hosts()), len(ctl.Alerts()))
 			})
@@ -118,9 +157,35 @@ func run(args []string) error {
 		defer driver.Call(func() { ticker.Stop() })
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Println("\nshutting down")
+	fmt.Fprintln(out, "\nshutting down")
 	return nil
+}
+
+// serveObservability starts the HTTP endpoint exposing the controller's
+// metrics registry (Prometheus text format) and live topology (Graphviz
+// DOT). Handlers run on arbitrary HTTP goroutines, so every touch of
+// controller or registry state is marshalled onto the kernel goroutine
+// via driver.Call — the registry is not locked, the kernel owns it.
+func serveObservability(addr string, ctl *controller.Controller, driver *rtnet.Driver) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var snap *obs.Snapshot
+		driver.Call(func() { snap = ctl.Metrics().Snapshot() })
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/topology", func(w http.ResponseWriter, _ *http.Request) {
+		var dot string
+		driver.Call(func() { dot = ctl.TopologyDot(nil) })
+		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+		io.WriteString(w, dot)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln, nil
 }

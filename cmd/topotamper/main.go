@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"sdntamper/internal/attack"
@@ -25,6 +26,7 @@ import (
 	"sdntamper/internal/core"
 	"sdntamper/internal/dataplane"
 	"sdntamper/internal/exp"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/trace"
 )
 
@@ -48,12 +50,14 @@ func run(args []string) error {
 	dotPath := fs.String("dot", "", "write the final topology view as Graphviz dot to this file")
 	trials := fs.Int("trials", 1, "seeded trials (seed, seed+1, ...); >1 runs a headless fleet, one summary row per trial")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the trial fleet (0 = one per CPU, 1 = serial)")
+	metricsPath := fs.String("metrics", "", "write the final metrics snapshot to this file (.csv for CSV, anything else for JSON Lines); fleets merge per-trial registries in seed order")
+	eventsPath := fs.String("events", "", "write the retained structured event stream to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *trials > 1 {
-		return runFleet(*scenarioName, *defenseName, *attackName, *duration, *seed, *trials, *parallel)
+		return runFleet(*scenarioName, *defenseName, *attackName, *duration, *seed, *trials, *parallel, *metricsPath, *eventsPath)
 	}
 
 	logf := func(format string, a ...any) {
@@ -147,6 +151,50 @@ func run(args []string) error {
 		}
 		fmt.Printf("topology view written to %s\n", *dotPath)
 	}
+	if err := exportObservability(s.Net.Metrics(), *metricsPath, *eventsPath); err != nil {
+		return err
+	}
+	return nil
+}
+
+// exportObservability writes a registry's snapshot and/or event stream to
+// the requested files. Empty paths are skipped; .csv selects the CSV
+// snapshot format and anything else JSON Lines.
+func exportObservability(reg *obs.Registry, metricsPath, eventsPath string) error {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		snap := reg.Snapshot()
+		if strings.HasSuffix(metricsPath, ".csv") {
+			err = snap.WriteCSV(f)
+		} else {
+			err = snap.WriteJSONL(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", metricsPath)
+	}
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return err
+		}
+		err = obs.WriteEventsJSONL(f, reg.Events().Events())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("event stream written to %s (%d retained of %d total)\n",
+			eventsPath, len(reg.Events().Events()), reg.Events().Total())
+	}
 	return nil
 }
 
@@ -181,40 +229,42 @@ type trialOutcome struct {
 	ackAt  time.Time // controller ack of a completed hijack; zero if none
 }
 
-// runTrial executes one headless trial: build, warm, attack, run, summarize.
-func runTrial(scenarioName, defenseName, attackName string, duration time.Duration, seed int64) (trialOutcome, error) {
+// runTrial executes one headless trial: build, warm, attack, run,
+// summarize. The returned registry is the trial's private metrics store,
+// merged in seed order by the fleet path.
+func runTrial(scenarioName, defenseName, attackName string, duration time.Duration, seed int64) (trialOutcome, *obs.Registry, error) {
 	out := trialOutcome{seed: seed}
 	discard := func(string, ...any) {}
 	s, err := buildScenario(scenarioName, defenseName, seed, discard)
 	if err != nil {
-		return out, err
+		return out, nil, err
 	}
 	defer s.Close()
 	if err := s.Run(3 * time.Second); err != nil {
-		return out, err
+		return out, nil, err
 	}
 	warm(s)
 	if err := s.Run(3 * time.Second); err != nil {
-		return out, err
+		return out, nil, err
 	}
 	if err := launchAttack(s, scenarioName, attackName, discard, &out.ackAt); err != nil {
-		return out, err
+		return out, nil, err
 	}
 	if err := s.Run(duration); err != nil {
-		return out, err
+		return out, nil, err
 	}
 	out.links = len(s.Controller().Links())
 	out.hosts = len(s.Controller().Hosts())
 	out.alerts = len(s.Controller().Alerts())
-	return out, nil
+	return out, s.Net.Metrics(), nil
 }
 
 // runFleet runs the same configuration across consecutive seeds on the
 // parallel executor and prints one row per trial, merged in seed order.
-func runFleet(scenarioName, defenseName, attackName string, duration time.Duration, seed int64, trials, workers int) error {
+func runFleet(scenarioName, defenseName, attackName string, duration time.Duration, seed int64, trials, workers int, metricsPath, eventsPath string) error {
 	fmt.Printf("fleet: %d trials, scenario=%s defense=%s attack=%s duration=%s seeds=%d..%d\n",
 		trials, scenarioName, defenseName, attackName, duration, seed, seed+int64(trials)-1)
-	results, err := exp.Run(exp.Seeds(seed, trials, 1), workers, func(s int64) (trialOutcome, error) {
+	results, merged, err := exp.RunInstrumented(exp.Seeds(seed, trials, 1), workers, func(s int64) (trialOutcome, *obs.Registry, error) {
 		return runTrial(scenarioName, defenseName, attackName, duration, s)
 	})
 	if err != nil {
@@ -233,7 +283,7 @@ func runFleet(scenarioName, defenseName, attackName string, duration time.Durati
 	if attackName == "port-probing" {
 		fmt.Printf("hijacks completed: %d/%d\n", hijacks, trials)
 	}
-	return nil
+	return exportObservability(merged, metricsPath, eventsPath)
 }
 
 func warm(s *core.Scenario) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sdntamper/internal/lldp"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sim"
@@ -43,6 +44,7 @@ type Controller struct {
 	keychain  *lldp.Keychain
 	stampLLDP bool
 	logf      func(format string, args ...any)
+	m         ctlMetrics
 
 	conns   map[uint64]*Conn
 	pending []*Conn // connections awaiting FeaturesReply
@@ -106,6 +108,14 @@ func WithLogf(fn func(format string, args ...any)) Option {
 	return func(c *Controller) { c.logf = fn }
 }
 
+// WithMetrics records controller metrics and events into reg. Without this
+// option the controller keeps a private registry, so instrumentation sites
+// stay branch-free either way; the private registry is still reachable via
+// Metrics().
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Controller) { c.m = newCtlMetrics(reg) }
+}
+
 // New creates a controller on the given kernel and starts its link
 // discovery and link timeout sweeps.
 func New(kernel *sim.Kernel, opts ...Option) *Controller {
@@ -124,6 +134,7 @@ func New(kernel *sim.Kernel, opts ...Option) *Controller {
 		icmpID:            0x4000,
 		logf:              func(string, ...any) {},
 	}
+	c.m = newCtlMetrics(obs.NewRegistry())
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -256,6 +267,8 @@ func (c *Controller) handlePortStatus(dpid uint64, msg *openflow.PortStatus) {
 			if l.Src == ref || l.Dst == ref {
 				delete(c.links, l)
 				evicted = true
+				c.m.linksRemoved.Inc()
+				c.event(obs.KindTopology, "link-removed", l.Src, "port-down "+l.String())
 			}
 		}
 		if evicted {
@@ -280,6 +293,8 @@ func (c *Controller) handlePacketIn(conn *Conn, msg *openflow.PacketIn) {
 	if err != nil {
 		return
 	}
+	c.m.packetIn.Inc()
+	c.event(obs.KindPacket, "packet-in", PortRef{DPID: conn.dpid, Port: msg.InPort}, "")
 	// Internal probe returns never reach modules or services.
 	if eth.Src == pathProbeMAC && eth.Type == pathProbeEtherType {
 		c.resolvePathProbe(eth)
@@ -298,6 +313,7 @@ func (c *Controller) handlePacketIn(conn *Conn, msg *openflow.PacketIn) {
 		if f, err := lldp.Unmarshal(eth.Payload); err == nil {
 			ev.IsLLDP = true
 			ev.LLDP = f
+			c.m.packetInLLDP.Inc()
 		}
 	}
 	if c.resolveHostProbe(ev) {
@@ -327,6 +343,15 @@ func (c *Controller) handlePacketIn(conn *Conn, msg *openflow.PacketIn) {
 func (c *Controller) RaiseAlert(module, reason, detail string) {
 	a := Alert{At: c.kernel.Now(), Module: module, Reason: reason, Detail: detail}
 	c.alerts = append(c.alerts, a)
+	c.m.alerts.Inc()
+	c.m.alertCounter(module, reason).Inc()
+	c.m.reg.Events().Publish(obs.Event{
+		At:     c.kernel.Now().Sub(sim.Epoch),
+		Kind:   obs.KindVerdict,
+		Module: module,
+		Name:   reason,
+		Detail: detail,
+	})
 	c.logf("%s", a.String())
 }
 
@@ -347,6 +372,9 @@ func (c *Controller) AlertsByReason(reason string) []Alert {
 	}
 	return out
 }
+
+// Metrics implements API: the registry this controller records into.
+func (c *Controller) Metrics() *obs.Registry { return c.m.reg }
 
 // Now implements API.
 func (c *Controller) Now() time.Time { return c.kernel.Now() }
@@ -400,6 +428,10 @@ func (c *Controller) LinkPorts() map[PortRef]bool {
 
 // RemoveLink implements API.
 func (c *Controller) RemoveLink(l Link) {
+	if _, ok := c.links[l]; ok {
+		c.m.linksRemoved.Inc()
+		c.event(obs.KindTopology, "link-removed", l.Src, "evicted "+l.String())
+	}
 	delete(c.links, l)
 	delete(c.linkBorn, l)
 	c.invalidateTopo()
@@ -455,6 +487,7 @@ func (c *Controller) sendFlowMod(dpid uint64, fm *openflow.FlowMod) {
 		return
 	}
 	c.flowModLog = append(c.flowModLog, *fm)
+	c.m.flowMods.Inc()
 	for _, o := range c.fmObservers {
 		o.ObserveFlowMod(dpid, fm)
 	}
@@ -467,6 +500,7 @@ func (c *Controller) sendPacketOut(dpid uint64, inPort uint32, actions []openflo
 	if !ok {
 		return
 	}
+	c.m.packetOuts.Inc()
 	conn.sendMsg(&openflow.PacketOut{
 		BufferID: openflow.NoBuffer,
 		InPort:   inPort,

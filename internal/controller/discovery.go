@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sdntamper/internal/lldp"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/openflow"
 )
 
@@ -40,6 +41,7 @@ func sortedPorts(ports map[uint32]openflow.PortDesc) []uint32 {
 func (c *Controller) emitLLDP(dpid uint64, port uint32) {
 	frame := c.BuildLLDP(dpid, port)
 	origin := PortRef{DPID: dpid, Port: port}
+	c.m.lldpSent.Inc()
 	c.pendingLLDP[origin] = c.kernel.Now()
 	ev := &LLDPSendEvent{Origin: origin, SentAt: c.kernel.Now()}
 	for _, o := range c.lldpObservers {
@@ -113,8 +115,11 @@ func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
 			return
 		}
 	}
+	c.m.lldpRTT.Observe(linkEv.ReceivedAt.Sub(linkEv.SentAt))
 	if linkEv.IsNew {
 		c.logf("link discovered: %s", l)
+		c.m.linksAdded.Inc()
+		c.event(obs.KindTopology, "link-added", l.Src, l.String())
 		c.linkBorn[l] = ev.When
 		// A refresh only bumps the last-seen time; only a genuinely new
 		// link changes the forwarding views.
@@ -139,6 +144,8 @@ func (c *Controller) sweepLinks() {
 			delete(c.links, l)
 			delete(c.linkBorn, l)
 			evicted = true
+			c.m.linksRemoved.Inc()
+			c.event(obs.KindTopology, "link-removed", l.Src, "timeout "+l.String())
 			c.logf("link timed out: %s", l)
 		}
 	}

@@ -25,6 +25,7 @@ func (c *Controller) forward(ev *PacketInEvent) {
 	src := ev.Loc()
 	path, ok := c.shortestPath(src.DPID, target.Loc.DPID)
 	if !ok {
+		c.m.floodFallback.Inc()
 		c.flood(ev)
 		return
 	}
@@ -32,6 +33,7 @@ func (c *Controller) forward(ev *PacketInEvent) {
 		// A hop had no egress port (the link set changed under the path):
 		// fall back to flooding rather than installing flows toward a
 		// nonexistent port.
+		c.m.floodFallback.Inc()
 		c.flood(ev)
 		return
 	}
@@ -41,6 +43,7 @@ func (c *Controller) forward(ev *PacketInEvent) {
 	if len(path) > 1 {
 		p, ok := c.egressPort(path[0], path[1])
 		if !ok {
+			c.m.floodFallback.Inc()
 			c.flood(ev)
 			return
 		}
@@ -75,6 +78,7 @@ func (c *Controller) isRecentFlood(ev *PacketInEvent) bool {
 // topologies; a dedup cache suppresses re-floods of the same frame
 // re-entering via another switch.
 func (c *Controller) flood(ev *PacketInEvent) {
+	c.m.floods.Inc()
 	h := fnv.New64a()
 	h.Write(ev.Data)
 	key := h.Sum64()
@@ -123,8 +127,10 @@ func (c *Controller) shortestPath(src, dst uint64) ([]uint64, bool) {
 	t := c.ensureTopo()
 	key := switchPair{src: src, dst: dst}
 	if path, hit := t.paths[key]; hit {
+		c.m.topoHits.Inc()
 		return path, path != nil
 	}
+	c.m.topoMisses.Inc()
 	path := bfsPath(t.adj, src, dst)
 	t.paths[key] = path
 	return path, path != nil
@@ -140,8 +146,10 @@ func (c *Controller) egressPort(a, b uint64) (uint32, bool) {
 	t := c.ensureTopo()
 	key := switchPair{src: a, dst: b}
 	if sel, hit := t.egress[key]; hit {
+		c.m.topoHits.Inc()
 		return sel.port, sel.found
 	}
+	c.m.topoMisses.Inc()
 	var best Link
 	found := false
 	for l := range c.links {

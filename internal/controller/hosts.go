@@ -3,6 +3,7 @@ package controller
 import (
 	"fmt"
 
+	"sdntamper/internal/obs"
 	"sdntamper/internal/packet"
 )
 
@@ -56,6 +57,8 @@ func (c *Controller) observeHost(ev *PacketInEvent) {
 	}
 	if known {
 		c.logf("host %s moved %s -> %s", src, entry.Loc, loc)
+		c.m.hostMoves.Inc()
+		c.event(obs.KindTopology, "host-moved", loc, src.String()+" from "+entry.Loc.String())
 		entry.Loc = loc
 		entry.LastSeen = ev.When
 		if !ip.IsZero() {
@@ -63,6 +66,8 @@ func (c *Controller) observeHost(ev *PacketInEvent) {
 		}
 	} else {
 		c.logf("host %s joined at %s", src, loc)
+		c.m.hostJoins.Inc()
+		c.event(obs.KindTopology, "host-joined", loc, src.String())
 		c.hosts[src] = &HostEntry{
 			MAC:       src,
 			IP:        ip,

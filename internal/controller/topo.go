@@ -42,6 +42,7 @@ func (c *Controller) ensureTopo() *topoCache {
 	if t.valid {
 		return t
 	}
+	c.m.topoRebuilds.Inc()
 	adj := make(map[uint64][]uint64)
 	seen := make(map[switchPair]bool, len(c.links))
 	for l := range c.links {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sdntamper/internal/lldp"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sim"
@@ -226,6 +227,10 @@ type API interface {
 	RequestPortStats(dpid uint64, cb func([]openflow.PortStats))
 	// Keychain exposes the controller LLDP keys (nil if signing disabled).
 	Keychain() *lldp.Keychain
+	// Metrics exposes the controller's observability registry. Modules
+	// register their own counters and histograms here so one snapshot
+	// covers the whole control plane.
+	Metrics() *obs.Registry
 	// Links snapshots the current topology.
 	Links() []Link
 	// LinkPorts reports the set of ports currently acting as link endpoints.

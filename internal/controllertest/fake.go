@@ -8,6 +8,7 @@ import (
 
 	"sdntamper/internal/controller"
 	"sdntamper/internal/lldp"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sim"
@@ -17,6 +18,7 @@ import (
 // manipulates directly.
 type FakeAPI struct {
 	Kernel *sim.Kernel
+	Reg    *obs.Registry
 
 	AlertsRaised []controller.Alert
 	HostTable    map[packet.MAC]controller.HostEntry
@@ -51,6 +53,7 @@ var _ controller.API = (*FakeAPI)(nil)
 func New() *FakeAPI {
 	return &FakeAPI{
 		Kernel:          sim.New(),
+		Reg:             obs.NewRegistry(),
 		HostTable:       make(map[packet.MAC]controller.HostEntry),
 		LinkSet:         make(map[controller.PortRef]bool),
 		Prof:            controller.Floodlight,
@@ -125,6 +128,9 @@ func (f *FakeAPI) RequestPortStats(dpid uint64, cb func([]openflow.PortStats)) {
 
 // Keychain implements controller.API.
 func (f *FakeAPI) Keychain() *lldp.Keychain { return f.Keys }
+
+// Metrics implements controller.API.
+func (f *FakeAPI) Metrics() *obs.Registry { return f.Reg }
 
 // Links implements controller.API.
 func (f *FakeAPI) Links() []controller.Link {

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
+	"sdntamper/internal/exp"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/stats"
 )
 
@@ -83,5 +86,47 @@ func TestParallelExecutorByteIdentical(t *testing.T) {
 		if got := render(par); got != want {
 			t.Fatalf("workers=%d diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", workers, want, got)
 		}
+	}
+}
+
+// TestMetricsSnapshotByteIdentical extends the determinism contract to
+// the observability layer: a fleet's merged metrics snapshot (Prometheus
+// text) and merged event stream (JSON Lines) must be byte-for-byte
+// identical regardless of the worker count.
+func TestMetricsSnapshotByteIdentical(t *testing.T) {
+	seeds := []int64{11, 12, 13, 14, 15, 16}
+	trial := func(seed int64) (struct{}, *obs.Registry, error) {
+		s := NewFig2Scenario(seed, TopoGuardPlus())
+		defer s.Close()
+		if err := s.Run(30 * time.Second); err != nil {
+			return struct{}{}, nil, err
+		}
+		return struct{}{}, s.Net.Metrics(), nil
+	}
+	render := func(workers int) string {
+		_, merged, err := exp.RunInstrumented(seeds, workers, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := merged.Snapshot().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteEventsJSONL(&b, merged.Events().Events()); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	want := render(1)
+	for _, series := range []string{
+		"controller_packetin_total", "sim_events_executed_total",
+		`defense_verdicts_total{module="TopoGuard",verdict="pass"}`,
+	} {
+		if !strings.Contains(want, series) {
+			t.Fatalf("merged snapshot missing %s:\n%s", series, want)
+		}
+	}
+	if got := render(8); got != want {
+		t.Fatalf("workers=8 snapshot diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
 	}
 }

@@ -5,8 +5,17 @@ import (
 	"time"
 
 	"sdntamper/internal/link"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/sim"
+)
+
+// Dataplane metric name bases; per-port counters carry dpid and port
+// labels derived from these.
+const (
+	MetricFramesRx      = "dataplane_rx_frames_total"
+	MetricFramesTx      = "dataplane_tx_frames_total"
+	MetricFramesDropped = "dataplane_dropped_frames_total"
 )
 
 // Link-pulse timing. IEEE 802.3 twisted-pair Ethernet defines a link
@@ -41,6 +50,10 @@ type Port struct {
 	txPackets uint64
 	rxBytes   uint64
 	txBytes   uint64
+
+	mRx   *obs.Counter
+	mTx   *obs.Counter
+	mDrop *obs.Counter
 }
 
 var _ link.Attachment = (*Port)(nil)
@@ -54,10 +67,12 @@ func (p *Port) Up() bool { return p.up }
 // ReceiveFrame implements link.Attachment.
 func (p *Port) ReceiveFrame(data []byte) {
 	if !p.up {
+		p.mDrop.Inc()
 		return
 	}
 	p.rxPackets++
 	p.rxBytes += uint64(len(data))
+	p.mRx.Inc()
 	p.sw.handleFrame(p, data)
 }
 
@@ -98,10 +113,12 @@ func (p *Port) CarrierChange(up bool) {
 
 func (p *Port) send(data []byte) {
 	if !p.up {
+		p.mDrop.Inc()
 		return
 	}
 	p.txPackets++
 	p.txBytes += uint64(len(data))
+	p.mTx.Inc()
 	p.ep.Send(data)
 }
 
@@ -118,10 +135,17 @@ type Switch struct {
 	sendControl func([]byte)
 	handshook   bool
 	expiry      *sim.Ticker
+	metrics     *obs.Registry
 }
 
 // SwitchOption configures a Switch.
 type SwitchOption func(*Switch)
+
+// WithMetrics records per-port frame counters into reg. Without it the
+// switch keeps a private registry, so the frame paths stay branch-free.
+func WithMetrics(reg *obs.Registry) SwitchOption {
+	return func(s *Switch) { s.metrics = reg }
+}
 
 // NewSwitch creates a switch with the given datapath id. Connect ports
 // with AddPort and the controller with SetControlSender /HandleControl.
@@ -133,6 +157,9 @@ func NewSwitch(kernel *sim.Kernel, dpid uint64, opts ...SwitchOption) *Switch {
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
 	}
 	s.expiry = kernel.NewTicker(expiryCheckInterval, func() {
 		s.table.Expire(kernel.Now())
@@ -158,6 +185,10 @@ func (s *Switch) AddPort(no uint32, l *link.Link, end link.End, detect sim.Sampl
 		detect = sim.Const(LinkPulseNominal)
 	}
 	p := &Port{sw: s, no: no, up: true, det: detect}
+	labels := fmt.Sprintf("{dpid=\"0x%x\",port=\"%d\"}", s.dpid, no)
+	p.mRx = s.metrics.Counter(MetricFramesRx + labels)
+	p.mTx = s.metrics.Counter(MetricFramesTx + labels)
+	p.mDrop = s.metrics.Counter(MetricFramesDropped + labels)
 	p.ep = link.NewEndpoint(l, end, p)
 	s.ports[no] = p
 	s.order = append(s.order, no)

@@ -1,0 +1,34 @@
+package exp
+
+import "sdntamper/internal/obs"
+
+// instrumented couples one trial's result with its private metrics
+// registry while the pair rides through Grid.
+type instrumented[R any] struct {
+	result  R
+	metrics *obs.Registry
+}
+
+// RunInstrumented executes trial once per seed like Run, with each trial
+// additionally returning its own obs.Registry (every trial owns a private
+// kernel, so it must own a private registry too — sharing one across
+// workers would race and break determinism). The per-trial registries are
+// merged in seed order after all trials finish, so the combined snapshot
+// is byte-identical regardless of the worker count. A trial may return a
+// nil registry; it simply contributes nothing to the merge.
+func RunInstrumented[R any](seeds []int64, workers int, trial func(seed int64) (R, *obs.Registry, error)) ([]R, *obs.Registry, error) {
+	wrapped, err := Grid(seeds, workers, func(seed int64) (instrumented[R], error) {
+		r, reg, err := trial(seed)
+		return instrumented[R]{result: r, metrics: reg}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]R, len(wrapped))
+	regs := make([]*obs.Registry, len(wrapped))
+	for i, w := range wrapped {
+		results[i] = w.result
+		regs[i] = w.metrics
+	}
+	return results, obs.MergeAll(regs...), nil
+}

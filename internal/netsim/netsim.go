@@ -11,6 +11,7 @@ import (
 	"sdntamper/internal/controller"
 	"sdntamper/internal/dataplane"
 	"sdntamper/internal/link"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sim"
 )
@@ -38,23 +39,34 @@ type Network struct {
 	Kernel     *sim.Kernel
 	Controller *controller.Controller
 
+	metrics  *obs.Registry
 	switches map[uint64]*dataplane.Switch
 	hosts    map[string]*dataplane.Host
 	hostLoc  map[string]controller.PortRef
 }
 
 // New creates an empty network with a controller using the given options
-// and RNG seed.
+// and RNG seed. The whole network — kernel, controller, every switch —
+// records into one shared observability registry, reachable via Metrics();
+// a controller.WithMetrics among ctlOpts overrides the controller's
+// destination but not the kernel's or the switches'.
 func New(seed int64, ctlOpts ...controller.Option) *Network {
 	k := sim.New(sim.WithSeed(seed))
+	reg := obs.NewRegistry()
+	obs.InstrumentKernel(reg, k)
+	opts := append([]controller.Option{controller.WithMetrics(reg)}, ctlOpts...)
 	return &Network{
 		Kernel:     k,
-		Controller: controller.New(k, ctlOpts...),
+		Controller: controller.New(k, opts...),
+		metrics:    reg,
 		switches:   make(map[uint64]*dataplane.Switch),
 		hosts:      make(map[string]*dataplane.Host),
 		hostLoc:    make(map[string]controller.PortRef),
 	}
 }
+
+// Metrics exposes the network-wide observability registry.
+func (n *Network) Metrics() *obs.Registry { return n.metrics }
 
 // AddSwitch creates a switch and connects it to the controller over a
 // control channel with the given latency (nil for the default).
@@ -62,7 +74,7 @@ func (n *Network) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dataplane.
 	if controlLatency == nil {
 		controlLatency = DefaultControlLatency()
 	}
-	sw := dataplane.NewSwitch(n.Kernel, dpid)
+	sw := dataplane.NewSwitch(n.Kernel, dpid, dataplane.WithMetrics(n.metrics))
 	ch := link.NewChannel(n.Kernel, controlLatency)
 	sw.SetControlSender(func(b []byte) { ch.Send(link.EndA, b) })
 	ch.OnReceive(link.EndA, sw.HandleControl)

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The registry sits on the per-event hot paths of the kernel, the
+// controller and every switch port; these benchmarks pin the cost of one
+// recording operation (should be a few ns, zero allocations).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_latency")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%20) * time.Millisecond)
+	}
+}
+
+func BenchmarkBusPublishSteadyState(b *testing.B) {
+	bus := NewBus(256)
+	ev := Event{At: time.Second, Kind: KindPacket, Module: "bench", Name: "frame"}
+	// Fill the ring so every publish is a steady-state eviction.
+	for i := 0; i < 256; i++ {
+		bus.Publish(ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.At = time.Duration(i)
+		bus.Publish(ev)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { bus.Publish(ev) }); allocs != 0 {
+		b.Fatalf("steady-state publish allocates %.1f per op", allocs)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"time"
+
+	"sdntamper/internal/sim"
+)
+
+// Kernel metric names.
+const (
+	MetricSimEvents         = "sim_events_executed_total"
+	MetricSimQueueDepth     = "sim_queue_depth"
+	MetricSimQueueDepthPeak = "sim_queue_depth_peak"
+)
+
+// InstrumentKernel wires the kernel's step hook to the registry: a
+// counter of executed events, the current queue depth, and its
+// high-water mark. All three derive from virtual-clock state only, so
+// instrumented runs stay deterministic. Any previously installed step
+// hook keeps running.
+func InstrumentKernel(r *Registry, k *sim.Kernel) {
+	events := r.Counter(MetricSimEvents)
+	depth := r.Gauge(MetricSimQueueDepth)
+	peak := r.Gauge(MetricSimQueueDepthPeak)
+	prev := k.StepHook()
+	k.SetStepHook(func() {
+		events.Inc()
+		n := int64(k.Pending())
+		depth.Set(n)
+		peak.SetMax(n)
+		if prev != nil {
+			prev()
+		}
+	})
+}
+
+// WallSample is one KernelProfile observation: how much wall-clock time
+// and how many kernel events one interval of virtual time consumed.
+type WallSample struct {
+	// VirtualEnd is the virtual elapsed time at the end of the interval.
+	VirtualEnd time.Duration
+	// Wall is the wall-clock time the interval took to execute.
+	Wall time.Duration
+	// Events is the number of kernel events executed in the interval.
+	Events uint64
+}
+
+// KernelProfile measures wall-time per interval of virtual time — the
+// "how fast does the simulator run" profiling hook the benchmark harness
+// uses. Its samples are inherently non-deterministic (they read the wall
+// clock) and are therefore kept out of every Registry and Snapshot; only
+// the profile's own kernel ticker participates in the simulation, and
+// ticker events are themselves deterministic, so enabling a profile does
+// not perturb metric snapshots beyond those scheduled ticks.
+type KernelProfile struct {
+	kernel     *sim.Kernel
+	ticker     *sim.Ticker
+	interval   time.Duration
+	lastWall   time.Time
+	lastEvents uint64
+	samples    []WallSample
+}
+
+// NewKernelProfile starts sampling wall time once per virtual interval
+// (1s if non-positive). Stop it before reading Samples.
+func NewKernelProfile(k *sim.Kernel, interval time.Duration) *KernelProfile {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p := &KernelProfile{
+		kernel:     k,
+		interval:   interval,
+		lastWall:   time.Now(),
+		lastEvents: k.Executed(),
+	}
+	p.ticker = k.NewTicker(interval, func() {
+		now := time.Now()
+		executed := k.Executed()
+		p.samples = append(p.samples, WallSample{
+			VirtualEnd: k.Elapsed(),
+			Wall:       now.Sub(p.lastWall),
+			Events:     executed - p.lastEvents,
+		})
+		p.lastWall = now
+		p.lastEvents = executed
+	})
+	return p
+}
+
+// Stop halts sampling.
+func (p *KernelProfile) Stop() { p.ticker.Stop() }
+
+// Samples returns the collected intervals in order.
+func (p *KernelProfile) Samples() []WallSample {
+	out := make([]WallSample, len(p.samples))
+	copy(out, p.samples)
+	return out
+}

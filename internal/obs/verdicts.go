@@ -1,0 +1,53 @@
+package obs
+
+import "fmt"
+
+// MetricDefenseVerdicts is the shared base name for per-module defense
+// verdict counters. Every defense stack records its pass/flag/block
+// decisions under this family, labeled with the module name, the verdict
+// and (for non-pass verdicts) the reason code, so one Prometheus query
+// compares detection behavior across TopoGuard, SPHINX, TopoGuard+ and
+// SecBind.
+const MetricDefenseVerdicts = "defense_verdicts_total"
+
+// Verdicts tracks one defense module's per-reason verdict counters with
+// resolved handles, so the per-packet pass path costs a single increment.
+type Verdicts struct {
+	reg     *Registry
+	module  string
+	pass    *Counter
+	reasons map[string]*Counter // verdict+"\x00"+reason -> counter
+}
+
+// NewVerdicts creates the verdict family for module in reg. The pass
+// counter is registered eagerly so snapshots show an explicit zero for
+// modules that never passed anything.
+func NewVerdicts(reg *Registry, module string) *Verdicts {
+	return &Verdicts{
+		reg:     reg,
+		module:  module,
+		pass:    reg.Counter(fmt.Sprintf("%s{module=%q,verdict=\"pass\"}", MetricDefenseVerdicts, module)),
+		reasons: make(map[string]*Counter),
+	}
+}
+
+// Pass records one approved event.
+func (v *Verdicts) Pass() { v.pass.Inc() }
+
+// Block records one vetoed event with its reason code.
+func (v *Verdicts) Block(reason string) { v.counter("block", reason).Inc() }
+
+// Flag records one event that was reported but not vetoed (e.g. LLI in
+// alert-only mode).
+func (v *Verdicts) Flag(reason string) { v.counter("flag", reason).Inc() }
+
+func (v *Verdicts) counter(verdict, reason string) *Counter {
+	key := verdict + "\x00" + reason
+	if c, ok := v.reasons[key]; ok {
+		return c
+	}
+	c := v.reg.Counter(fmt.Sprintf("%s{module=%q,verdict=%q,reason=%q}",
+		MetricDefenseVerdicts, v.module, verdict, reason))
+	v.reasons[key] = c
+	return c
+}

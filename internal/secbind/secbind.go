@@ -28,6 +28,7 @@ import (
 
 	"sdntamper/internal/controller"
 	"sdntamper/internal/dataplane"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/packet"
 )
 
@@ -187,6 +188,7 @@ type session struct {
 // Binder is the controller security module enforcing identifier binding.
 type Binder struct {
 	api       controller.API
+	verdicts  *obs.Verdicts
 	authority *Authority
 	sessions  map[controller.PortRef]session
 }
@@ -207,7 +209,10 @@ var (
 func (b *Binder) ModuleName() string { return moduleName }
 
 // Bind implements controller.Binder.
-func (b *Binder) Bind(api controller.API) { b.api = api }
+func (b *Binder) Bind(api controller.API) {
+	b.api = api
+	b.verdicts = obs.NewVerdicts(api.Metrics(), moduleName)
+}
 
 // InterceptPacketIn consumes authentication frames, recording verified
 // sessions; all other traffic passes through.
@@ -217,10 +222,12 @@ func (b *Binder) InterceptPacketIn(ev *controller.PacketInEvent) bool {
 	}
 	id, err := b.authority.verify(ev.Eth.Payload, ev.Eth.Src)
 	if err != nil {
+		b.verdicts.Block(ReasonBadAuthFrame)
 		b.api.RaiseAlert(moduleName, ReasonBadAuthFrame,
 			fmt.Sprintf("auth frame from %s at %s rejected: %v", ev.Eth.Src, ev.Loc(), err))
 		return false
 	}
+	b.verdicts.Pass()
 	b.sessions[ev.Loc()] = session{deviceID: id, mac: ev.Eth.Src, at: ev.When}
 	return false // auth frames are control traffic, never forwarded
 }
@@ -236,10 +243,12 @@ func (b *Binder) ApproveHostMove(ev *controller.HostMoveEvent) bool {
 	s, ok := b.sessions[ev.New]
 	fresh := ok && ev.When.Sub(s.at) <= sessionWindow && s.mac == ev.MAC
 	if !fresh {
+		b.verdicts.Block(ReasonUnauthenticatedMove)
 		b.api.RaiseAlert(moduleName, ReasonUnauthenticatedMove,
 			fmt.Sprintf("host %s claims move %s -> %s without re-authenticating its identifiers", ev.MAC, ev.Old, ev.New))
 		return false
 	}
+	b.verdicts.Pass()
 	return true
 }
 

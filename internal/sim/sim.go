@@ -95,6 +95,7 @@ type Kernel struct {
 	rng        *rand.Rand
 	executed   uint64
 	eventLimit uint64
+	stepHook   func()
 }
 
 // Option configures a Kernel.
@@ -143,6 +144,16 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // canceled events that have not yet been discarded.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// SetStepHook installs fn to run after every executed event, replacing
+// any previous hook (callers that need to stack hooks chain the value
+// returned by StepHook). The observability layer uses it to count events
+// and track queue depth; the hook must not touch the wall clock if the
+// run is meant to stay deterministic.
+func (k *Kernel) SetStepHook(fn func()) { k.stepHook = fn }
+
+// StepHook returns the currently installed step hook, if any.
+func (k *Kernel) StepHook() func() { return k.stepHook }
+
 // Executed reports the total number of events run so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
@@ -181,6 +192,9 @@ func (k *Kernel) Step() bool {
 		k.now = e.at
 		k.executed++
 		e.fn()
+		if k.stepHook != nil {
+			k.stepHook()
+		}
 		return true
 	}
 	return false

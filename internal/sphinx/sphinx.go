@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sdntamper/internal/controller"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sim"
@@ -69,8 +70,9 @@ type binding struct {
 // Sphinx is the security module. Register it on a controller and call
 // Start to begin counter polling.
 type Sphinx struct {
-	api controller.API
-	cfg Config
+	api      controller.API
+	cfg      Config
+	verdicts *obs.Verdicts
 
 	macs    map[packet.MAC]*binding
 	ips     map[packet.IPv4Addr]packet.MAC
@@ -111,7 +113,10 @@ var (
 func (s *Sphinx) ModuleName() string { return moduleName }
 
 // Bind implements controller.Binder.
-func (s *Sphinx) Bind(api controller.API) { s.api = api }
+func (s *Sphinx) Bind(api controller.API) {
+	s.api = api
+	s.verdicts = obs.NewVerdicts(api.Metrics(), moduleName)
+}
 
 // Start begins periodic switch counter polling. Call after the network is
 // assembled; Stop halts it.
@@ -158,6 +163,7 @@ func (s *Sphinx) InterceptPacketIn(ev *controller.PacketInEvent) bool {
 	now := ev.When
 	if b, ok := s.macs[src]; ok && b.loc != loc {
 		if now.Sub(b.lastSeen) < s.cfg.BindingWindow {
+			s.verdicts.Flag(ReasonMultiBinding)
 			s.api.RaiseAlert(moduleName, ReasonMultiBinding,
 				fmt.Sprintf("MAC %s active at %s and %s within %s", src, b.loc, loc, s.cfg.BindingWindow))
 		}
@@ -178,6 +184,7 @@ func (s *Sphinx) InterceptPacketIn(ev *controller.PacketInEvent) bool {
 	if !ip.IsZero() {
 		if owner, ok := s.ips[ip]; ok && owner != src {
 			if seen, ok2 := s.ipsSeen[ip]; ok2 && now.Sub(seen) < s.cfg.BindingWindow {
+				s.verdicts.Flag(ReasonIPMACConflict)
 				s.api.RaiseAlert(moduleName, ReasonIPMACConflict,
 					fmt.Sprintf("IP %s claimed by %s while bound to %s", ip, src, owner))
 			}
@@ -185,6 +192,7 @@ func (s *Sphinx) InterceptPacketIn(ev *controller.PacketInEvent) bool {
 		s.ips[ip] = src
 		s.ipsSeen[ip] = now
 	}
+	s.verdicts.Pass()
 	return true
 }
 
@@ -193,6 +201,7 @@ func (s *Sphinx) InterceptPacketIn(ev *controller.PacketInEvent) bool {
 func (s *Sphinx) ObserveLink(ev *controller.LinkEvent) {
 	prev, ok := s.links[ev.Link.Src]
 	if ok && prev != ev.Link.Dst {
+		s.verdicts.Flag(ReasonLinkChanged)
 		s.api.RaiseAlert(moduleName, ReasonLinkChanged,
 			fmt.Sprintf("link from %s moved %s -> %s", ev.Link.Src, prev, ev.Link.Dst))
 	}
@@ -293,6 +302,7 @@ func (s *Sphinx) compareWaypoints(results map[uint64][]openflow.FlowStats) {
 		if maxBytes > 0 && float64(diff)/float64(maxBytes) <= s.cfg.RatioSlack {
 			continue
 		}
+		s.verdicts.Flag(ReasonFlowInconsistent)
 		s.api.RaiseAlert(moduleName, ReasonFlowInconsistent,
 			fmt.Sprintf("flow to %s: waypoint byte counters diverge (min=%d max=%d)", dst, minBytes, maxBytes))
 	}

@@ -5,9 +5,15 @@ import (
 	"time"
 
 	"sdntamper/internal/controller"
+	"sdntamper/internal/obs"
 	"sdntamper/internal/sim"
 	"sdntamper/internal/stats"
 )
+
+// MetricLLILinkLatency is the histogram of every switch-link latency the
+// LLI infers from an LLDP round trip (after subtracting control-link
+// delays), flagged or not — the raw material of Figures 10 and 11.
+const MetricLLILinkLatency = "lli_link_latency_seconds"
 
 // controlEstimate tracks a switch's control-link latency as the average of
 // the latest three probe RTTs, halved to a one-way figure (Section VI-D).
@@ -24,8 +30,10 @@ func (e *controlEstimate) oneWay() (time.Duration, bool) {
 
 // LLI is the Link Latency Inspector.
 type LLI struct {
-	api controller.API
-	cfg LLIConfig
+	api      controller.API
+	cfg      LLIConfig
+	verdicts *obs.Verdicts
+	linkLat  *obs.Histogram
 
 	control map[uint64]*controlEstimate
 	// window is the fixed-size store of verified switch-link latencies.
@@ -77,7 +85,11 @@ var (
 func (l *LLI) ModuleName() string { return lliName }
 
 // Bind implements controller.Binder.
-func (l *LLI) Bind(api controller.API) { l.api = api }
+func (l *LLI) Bind(api controller.API) {
+	l.api = api
+	l.verdicts = obs.NewVerdicts(api.Metrics(), lliName)
+	l.linkLat = api.Metrics().HistogramWithBuckets(MetricLLILinkLatency, obs.DefaultLatencyBuckets())
+}
 
 // Start begins periodic control-link RTT probing of every connected
 // switch. Stop halts it.
@@ -149,6 +161,7 @@ func (l *LLI) ApproveLink(ev *controller.LinkEvent) bool {
 		latency = 0
 	}
 
+	l.linkLat.Observe(latency)
 	w := l.window
 	sample := LatencySample{At: ev.ReceivedAt, Link: ev.Link, Latency: latency}
 	enforce := w.N() >= l.cfg.MinSamples
@@ -157,6 +170,11 @@ func (l *LLI) ApproveLink(ev *controller.LinkEvent) bool {
 		if latency > sample.Threshold {
 			sample.Flagged = true
 			l.samples = append(l.samples, sample)
+			if l.cfg.BlockAnomalies {
+				l.verdicts.Block(ReasonAbnormalDelay)
+			} else {
+				l.verdicts.Flag(ReasonAbnormalDelay)
+			}
 			l.api.RaiseAlert(lliName, ReasonAbnormalDelay,
 				fmt.Sprintf("link %s delay is abnormal. delay:%dms, threshold:%dms",
 					ev.Link, latency.Milliseconds(), sample.Threshold.Milliseconds()))
@@ -167,6 +185,7 @@ func (l *LLI) ApproveLink(ev *controller.LinkEvent) bool {
 	// trickle of attack latencies cannot drag the threshold upward.
 	w.Add(latency)
 	l.samples = append(l.samples, sample)
+	l.verdicts.Pass()
 	return true
 }
 

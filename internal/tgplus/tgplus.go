@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sdntamper/internal/controller"
+	"sdntamper/internal/obs"
 )
 
 // Module name strings used in alerts (matching the Floodlight class whose
@@ -48,8 +49,9 @@ type portEvent struct {
 
 // CMM is the Control Message Monitor.
 type CMM struct {
-	api controller.API
-	log []portEvent
+	api      controller.API
+	verdicts *obs.Verdicts
+	log      []portEvent
 	// retention bounds the control-message log; events older than this
 	// can no longer fall inside any live LLDP propagation window.
 	retention time.Duration
@@ -75,6 +77,7 @@ func (c *CMM) ModuleName() string { return cmmName }
 // Bind implements controller.Binder.
 func (c *CMM) Bind(api controller.API) {
 	c.api = api
+	c.verdicts = obs.NewVerdicts(api.Metrics(), cmmName)
 	if c.retention <= 0 {
 		c.retention = api.Profile().DiscoveryInterval
 	}
@@ -109,11 +112,13 @@ func (c *CMM) ApproveLink(ev *controller.LinkEvent) bool {
 			if pe.down {
 				kind = "Port-Down"
 			}
+			c.verdicts.Block(ReasonControlMessage)
 			c.api.RaiseAlert(cmmName, ReasonControlMessage,
 				fmt.Sprintf("%s from %s during LLDP propagation for link %s", kind, pe.loc, ev.Link))
 			return false
 		}
 	}
+	c.verdicts.Pass()
 	return true
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sdntamper/internal/controller"
+	"sdntamper/internal/obs"
 )
 
 // PortType is the behavioral profile of a switch port.
@@ -64,6 +65,7 @@ const defaultProbeTimeout = 200 * time.Millisecond
 // TopoGuard is the security module. Register it on a controller.
 type TopoGuard struct {
 	api          controller.API
+	verdicts     *obs.Verdicts
 	profiles     map[controller.PortRef]PortType
 	lastDown     map[controller.PortRef]time.Time
 	probeTimeout time.Duration
@@ -102,7 +104,10 @@ var (
 func (t *TopoGuard) ModuleName() string { return moduleName }
 
 // Bind implements controller.Binder.
-func (t *TopoGuard) Bind(api controller.API) { t.api = api }
+func (t *TopoGuard) Bind(api controller.API) {
+	t.api = api
+	t.verdicts = obs.NewVerdicts(api.Metrics(), moduleName)
+}
 
 // Profile reports the current behavioral profile of a port.
 func (t *TopoGuard) Profile(ref controller.PortRef) PortType {
@@ -118,11 +123,13 @@ func (t *TopoGuard) InterceptPacketIn(ev *controller.PacketInEvent) bool {
 	loc := ev.Loc()
 	if ev.IsLLDP {
 		if t.Profile(loc) == HostPort {
+			t.verdicts.Block(ReasonLLDPFromHost)
 			t.api.RaiseAlert(moduleName, ReasonLLDPFromHost,
 				fmt.Sprintf("LLDP received from HOST-profiled port %s", loc))
 			return false
 		}
 		t.profiles[loc] = SwitchPort
+		t.verdicts.Pass()
 		return true
 	}
 
@@ -133,14 +140,17 @@ func (t *TopoGuard) InterceptPacketIn(ev *controller.PacketInEvent) bool {
 	entry, known := t.api.HostByMAC(ev.Eth.Src)
 	firstHop := !known || entry.Loc == loc
 	if !firstHop {
+		t.verdicts.Pass()
 		return true
 	}
 	if t.Profile(loc) == SwitchPort {
+		t.verdicts.Block(ReasonFirstHopFromSwitch)
 		t.api.RaiseAlert(moduleName, ReasonFirstHopFromSwitch,
 			fmt.Sprintf("first-hop traffic from %s on SWITCH-profiled port %s", ev.Eth.Src, loc))
 		return false
 	}
 	t.profiles[loc] = HostPort
+	t.verdicts.Pass()
 	return true
 }
 
@@ -163,6 +173,7 @@ func (t *TopoGuard) ApproveHostMove(ev *controller.HostMoveEvent) bool {
 	// evidenced by a Port-Down there since it was last seen.
 	downAt, sawDown := t.lastDown[ev.Old]
 	if !sawDown || downAt.Before(ev.OldSeen) {
+		t.verdicts.Block(ReasonMigrationPre)
 		t.api.RaiseAlert(moduleName, ReasonMigrationPre,
 			fmt.Sprintf("host %s claims move %s -> %s with no Port-Down at %s", ev.MAC, ev.Old, ev.New, ev.Old))
 		return false
@@ -173,10 +184,12 @@ func (t *TopoGuard) ApproveHostMove(ev *controller.HostMoveEvent) bool {
 	mac, ip, oldLoc := ev.MAC, ev.IP, ev.Old
 	t.api.ProbeHost(oldLoc, mac, ip, t.probeTimeout, func(alive bool) {
 		if alive {
+			t.verdicts.Block(ReasonMigrationPost)
 			t.api.RaiseAlert(moduleName, ReasonMigrationPost,
 				fmt.Sprintf("host %s still reachable at %s after claimed move", mac, oldLoc))
 			t.api.RestoreHostLocation(mac, oldLoc)
 		}
 	})
+	t.verdicts.Pass()
 	return true
 }

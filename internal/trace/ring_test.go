@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"sdntamper/internal/sim"
+)
+
+// TestLogWrapSemantics drives the ring through several full wraps and
+// checks retention, ordering and totals at each point.
+func TestLogWrapSemantics(t *testing.T) {
+	k := sim.New()
+	l := NewLog(k, 4)
+	for i := 0; i < 11; i++ {
+		l.Addf("t", fmt.Sprintf("event %d", i))
+		want := i + 1
+		if want > 4 {
+			want = 4
+		}
+		if got := len(l.Events()); got != want {
+			t.Fatalf("after %d adds: retained %d, want %d", i+1, got, want)
+		}
+	}
+	events := l.Events()
+	for i, e := range events {
+		if want := fmt.Sprintf("event %d", 7+i); e.Detail != want {
+			t.Fatalf("events[%d] = %q, want %q", i, e.Detail, want)
+		}
+	}
+	if l.Total() != 11 {
+		t.Fatalf("total = %d, want 11", l.Total())
+	}
+}
+
+// TestLogSteadyStateZeroAllocs pins the satellite fix: once the ring has
+// wrapped, pre-rendered captures must not touch the allocator at all.
+func TestLogSteadyStateZeroAllocs(t *testing.T) {
+	k := sim.New()
+	l := NewLog(k, 64)
+	for i := 0; i < 128; i++ {
+		l.Addf("tap", "warmup")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Addf("tap", "steady-state frame summary")
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Addf allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkLogAddfSteadyState measures the capture hot path after the
+// ring has wrapped. Run with -benchmem: the fix this guards replaced an
+// append-and-reslice eviction that reallocated periodically; the ring
+// must report 0 B/op and 0 allocs/op.
+func BenchmarkLogAddfSteadyState(b *testing.B) {
+	k := sim.New()
+	l := NewLog(k, 1024)
+	for i := 0; i < 2048; i++ {
+		l.Addf("tap", "warmup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Addf("tap", "aa:aa:aa:aa:aa:01 > bb:bb:bb:bb:bb:02 ARP who-has 10.0.0.2 tell 10.0.0.1")
+	}
+}
+
+// BenchmarkLogAddfFormatted is the same path when callers do pass format
+// args; fmt allocates the detail string but the ring itself still must
+// not grow.
+func BenchmarkLogAddfFormatted(b *testing.B) {
+	k := sim.New()
+	l := NewLog(k, 1024)
+	for i := 0; i < 2048; i++ {
+		l.Addf("tap", "warmup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Addf("tap", "event %d", i)
+	}
+}

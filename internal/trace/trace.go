@@ -28,12 +28,16 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12s %-12s %s", e.At.Truncate(time.Microsecond), e.Source, e.Detail)
 }
 
-// Log is a bounded capture log. It is not safe for concurrent use; like
+// Log is a bounded capture log backed by a fixed ring buffer: once the
+// ring is allocated, steady-state captures never touch the allocator (an
+// earlier implementation evicted by re-slicing an append-grown slice,
+// which both reallocated periodically and pinned every evicted event
+// until the next growth). It is not safe for concurrent use; like
 // everything else it lives on the simulation's single event loop.
 type Log struct {
 	kernel *sim.Kernel
-	max    int
-	events []Event
+	ring   []Event // fixed length == capacity
+	next   int     // ring index the next event lands in
 	total  uint64
 }
 
@@ -42,26 +46,49 @@ func NewLog(kernel *sim.Kernel, max int) *Log {
 	if max <= 0 {
 		max = 1024
 	}
-	return &Log{kernel: kernel, max: max}
+	return &Log{kernel: kernel, ring: make([]Event, max)}
 }
 
-// Addf appends a formatted event, evicting the oldest beyond capacity.
+// Addf appends a formatted event, overwriting the oldest beyond
+// capacity. With no args the format string is stored as-is, so
+// pre-rendered details skip fmt entirely.
 func (l *Log) Addf(source, format string, args ...any) {
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	l.ring[l.next] = Event{At: l.kernel.Elapsed(), Source: source, Detail: detail}
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+	}
 	l.total++
-	l.events = append(l.events, Event{
-		At:     l.kernel.Elapsed(),
-		Source: source,
-		Detail: fmt.Sprintf(format, args...),
-	})
-	if len(l.events) > l.max {
-		l.events = l.events[len(l.events)-l.max:]
+}
+
+// retained reports how many ring slots hold live events.
+func (l *Log) retained() int {
+	if l.total >= uint64(len(l.ring)) {
+		return len(l.ring)
+	}
+	return int(l.total)
+}
+
+// each visits the retained events oldest-first.
+func (l *Log) each(fn func(Event)) {
+	if l.total >= uint64(len(l.ring)) {
+		for _, e := range l.ring[l.next:] {
+			fn(e)
+		}
+	}
+	for _, e := range l.ring[:l.next] {
+		fn(e)
 	}
 }
 
 // Events snapshots the retained events in order.
 func (l *Log) Events() []Event {
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	out := make([]Event, 0, l.retained())
+	l.each(func(e Event) { out = append(out, e) })
 	return out
 }
 
@@ -71,10 +98,10 @@ func (l *Log) Total() uint64 { return l.total }
 // String renders the retained events, one per line.
 func (l *Log) String() string {
 	var b strings.Builder
-	for _, e := range l.events {
+	l.each(func(e Event) {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
-	}
+	})
 	return b.String()
 }
 
@@ -83,7 +110,7 @@ func (l *Log) String() string {
 func (l *Log) TapHost(h *dataplane.Host, name string) {
 	prev := h.OnFrame
 	h.OnFrame = func(eth *packet.Ethernet, raw []byte) bool {
-		l.Addf(name, "%s", Summarize(raw))
+		l.Addf(name, Summarize(raw))
 		if prev != nil {
 			return prev(eth, raw)
 		}
@@ -114,7 +141,7 @@ func Summarize(raw []byte) string {
 func summarizeARP(payload []byte) string {
 	arp, err := packet.UnmarshalARP(payload)
 	if err != nil {
-		return "ARP (malformed)"
+		return fmt.Sprintf("ARP (malformed, %d bytes)", len(payload))
 	}
 	if arp.Op == packet.ARPRequest {
 		return fmt.Sprintf("ARP who-has %s tell %s (%s)", arp.TargetIP, arp.SenderIP, arp.SenderHW)
@@ -125,14 +152,14 @@ func summarizeARP(payload []byte) string {
 func summarizeIPv4(payload []byte) string {
 	ip, err := packet.UnmarshalIPv4(payload)
 	if err != nil {
-		return "IPv4 (malformed)"
+		return fmt.Sprintf("IPv4 (malformed, %d bytes)", len(payload))
 	}
 	head := fmt.Sprintf("IP %s > %s", ip.Src, ip.Dst)
 	switch ip.Protocol {
 	case packet.ProtoICMP:
 		m, err := packet.UnmarshalICMP(ip.Payload)
 		if err != nil {
-			return head + " ICMP (malformed)"
+			return head + fmt.Sprintf(" ICMP (malformed, %d bytes)", len(ip.Payload))
 		}
 		kind := "type " + fmt.Sprint(m.Type)
 		switch m.Type {
@@ -145,14 +172,14 @@ func summarizeIPv4(payload []byte) string {
 	case packet.ProtoTCP:
 		seg, err := packet.UnmarshalTCP(ip.Payload)
 		if err != nil {
-			return head + " TCP (malformed)"
+			return head + fmt.Sprintf(" TCP (malformed, %d bytes)", len(ip.Payload))
 		}
 		return fmt.Sprintf("%s TCP %d > %d [%s] seq=%d len=%d",
 			head, seg.SrcPort, seg.DstPort, seg.Flags, seg.Seq, len(seg.Payload))
 	case packet.ProtoUDP:
 		u, err := packet.UnmarshalUDP(ip.Payload)
 		if err != nil {
-			return head + " UDP (malformed)"
+			return head + fmt.Sprintf(" UDP (malformed, %d bytes)", len(ip.Payload))
 		}
 		return fmt.Sprintf("%s UDP %d > %d len=%d", head, u.SrcPort, u.DstPort, len(u.Payload))
 	default:
@@ -163,7 +190,7 @@ func summarizeIPv4(payload []byte) string {
 func summarizeLLDP(payload []byte) string {
 	f, err := lldp.Unmarshal(payload)
 	if err != nil {
-		return "LLDP (malformed)"
+		return fmt.Sprintf("LLDP (malformed, %d bytes)", len(payload))
 	}
 	extras := ""
 	if f.Auth != nil {
