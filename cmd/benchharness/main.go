@@ -8,6 +8,11 @@
 // Absolute timings for Table II depend on the machine; every other output
 // is produced on the deterministic virtual clock and reproduces exactly
 // for a fixed seed.
+//
+// The chaos experiment (fault injection, no attacker) is opt-in — it is
+// not part of "all":
+//
+//	benchharness -experiment chaos -chaostrials 5 -chaosout BENCH_pr3.json
 package main
 
 import (
@@ -32,11 +37,14 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs")
+	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
 	metricsPath := fs.String("metrics", "", "write the obs experiment's metrics snapshot to this file (.csv for CSV, anything else for JSON Lines)")
+	chaosTrials := fs.Int("chaostrials", 5, "chaos experiment: seeded trials per fault class")
+	chaosClasses := fs.String("chaosclasses", "", "chaos experiment: comma-separated fault classes (default all: flap-storm,loss-episode,latency-spike,disconnect)")
+	chaosOut := fs.String("chaosout", "", "chaos experiment: write the JSON report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +71,9 @@ func run(args []string) error {
 		"profiles":   func(s int64, _ int) error { return printProfiles(s) },
 		"ablation":   func(s int64, _ int) error { return printAblations(s) },
 		"obs":        func(s int64, _ int) error { return printObs(s, *metricsPath) },
+		"chaos": func(s int64, _ int) error {
+			return printChaos(s, *chaosTrials, *workers, *chaosClasses, *chaosOut)
+		},
 	}
 
 	if *experiment == "all" {

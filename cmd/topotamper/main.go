@@ -7,6 +7,12 @@
 //	topotamper -scenario fig2 -defense both -attack port-probing
 //	topotamper -scenario fig1 -defense topoguard -attack naive-fabrication
 //
+// With -chaos a randomized fault plan of the named class (flap-storm,
+// loss-episode, latency-spike, disconnect) is injected after warmup, with
+// or without an attack running:
+//
+//	topotamper -scenario fig9 -attack none -chaos disconnect -duration 3m
+//
 // With -trials N (N > 1) the same configuration runs headlessly across N
 // consecutive seeds on the parallel executor and prints one summary row
 // per trial, merged in seed order:
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	"sdntamper/internal/attack"
+	"sdntamper/internal/chaos"
 	"sdntamper/internal/controller"
 	"sdntamper/internal/core"
 	"sdntamper/internal/dataplane"
@@ -48,6 +55,7 @@ func run(args []string) error {
 	traceFrames := fs.Int("trace", 0, "tap the attacker/victim NICs and print the last N captured frames")
 	pcapPath := fs.String("pcap", "", "also write tapped frames to this file in libpcap format")
 	dotPath := fs.String("dot", "", "write the final topology view as Graphviz dot to this file")
+	chaosClass := fs.String("chaos", "", "inject a randomized fault plan of this class after warmup: flap-storm, loss-episode, latency-spike, disconnect")
 	trials := fs.Int("trials", 1, "seeded trials (seed, seed+1, ...); >1 runs a headless fleet, one summary row per trial")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the trial fleet (0 = one per CPU, 1 = serial)")
 	metricsPath := fs.String("metrics", "", "write the final metrics snapshot to this file (.csv for CSV, anything else for JSON Lines); fleets merge per-trial registries in seed order")
@@ -57,6 +65,9 @@ func run(args []string) error {
 	}
 
 	if *trials > 1 {
+		if *chaosClass != "" {
+			return fmt.Errorf("-chaos is a single-run option; for multi-trial fault injection use benchharness -experiment chaos")
+		}
 		return runFleet(*scenarioName, *defenseName, *attackName, *duration, *seed, *trials, *parallel, *metricsPath, *eventsPath)
 	}
 
@@ -117,6 +128,11 @@ func run(args []string) error {
 	attackLogf := func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 	if err := launchAttack(s, *scenarioName, *attackName, attackLogf, nil); err != nil {
 		return err
+	}
+	if *chaosClass != "" {
+		if err := injectChaos(s, *chaosClass, *seed); err != nil {
+			return err
+		}
 	}
 	if err := s.Run(*duration); err != nil {
 		return err
@@ -195,6 +211,27 @@ func exportObservability(reg *obs.Registry, metricsPath, eventsPath string) erro
 		fmt.Printf("event stream written to %s (%d retained of %d total)\n",
 			eventsPath, len(reg.Events().Events()), reg.Events().Total())
 	}
+	return nil
+}
+
+// injectChaos arms a randomized fault plan of the named class on the
+// scenario's network, seeded so the same invocation replays the same
+// fault timeline. The plan starts immediately; the scenario keeps running
+// for the full -duration, so pick a duration longer than the printed span
+// to watch the topology recover.
+func injectChaos(s *core.Scenario, className string, seed int64) error {
+	classes, err := chaos.ParseClasses([]string{className})
+	if err != nil {
+		return err
+	}
+	inj := chaos.NewInjector(s.Net, seed)
+	plan := inj.PlanFor(classes[0])
+	if len(plan) == 0 {
+		return fmt.Errorf("no %s fault plan for this scenario", className)
+	}
+	inj.Apply(plan)
+	fmt.Printf("[chaos] injected %d %s fault(s), active span %s\n",
+		len(plan), className, plan.End().Truncate(time.Millisecond))
 	return nil
 }
 

@@ -50,6 +50,11 @@ type Controller struct {
 	pending []*Conn // connections awaiting FeaturesReply
 	xid     uint32
 
+	// deadSwitches records when each disconnected switch's control channel
+	// went down. Entries clear on reconnect; the sweep ages out host
+	// tracking entries stranded on a switch dead past the link timeout.
+	deadSwitches map[uint64]time.Time
+
 	links       map[Link]time.Time // link -> last refresh
 	linkBorn    map[Link]time.Time // link -> first discovery
 	topo        topoCache          // derived forwarding views of links
@@ -65,15 +70,16 @@ type Controller struct {
 	probeNonce        uint64
 	icmpID            uint16
 
-	modules       []SecurityModule
-	interceptors  []PacketInInterceptor
-	portObservers []PortStatusObserver
-	linkApprovers []LinkApprover
-	linkObservers []LinkObserver
-	moveApprovers []HostMoveApprover
-	moveObservers []HostMoveObserver
-	lldpObservers []LLDPSendObserver
-	fmObservers   []FlowModObserver
+	modules         []SecurityModule
+	interceptors    []PacketInInterceptor
+	portObservers   []PortStatusObserver
+	linkApprovers   []LinkApprover
+	linkObservers   []LinkObserver
+	moveApprovers   []HostMoveApprover
+	moveObservers   []HostMoveObserver
+	lldpObservers   []LLDPSendObserver
+	fmObservers     []FlowModObserver
+	switchObservers []SwitchObserver
 
 	alerts []Alert
 
@@ -123,6 +129,7 @@ func New(kernel *sim.Kernel, opts ...Option) *Controller {
 		kernel:            kernel,
 		profile:           Floodlight,
 		conns:             make(map[uint64]*Conn),
+		deadSwitches:      make(map[uint64]time.Time),
 		links:             make(map[Link]time.Time),
 		linkBorn:          make(map[Link]time.Time),
 		hosts:             make(map[packet.MAC]*HostEntry),
@@ -147,6 +154,39 @@ func New(kernel *sim.Kernel, opts ...Option) *Controller {
 func (c *Controller) Shutdown() {
 	c.discoveryTicker.Stop()
 	c.sweepTicker.Stop()
+}
+
+// Disconnect tears down the control connection to a switch, as when the
+// channel drops or the switch reboots. Every pending probe bound to the
+// switch resolves immediately with failure (its timeout event canceled),
+// its links leave the topology, its pending LLDP stamps are discarded,
+// and SwitchObservers are notified. Host entries are NOT dropped here:
+// the Host Tracking Service ages them out only after the switch stays
+// dead past the link timeout, since a brief control-channel blip says
+// nothing about dataplane host liveness. Reports false if the switch was
+// not connected.
+func (c *Controller) Disconnect(dpid uint64) bool {
+	if _, ok := c.conns[dpid]; !ok {
+		return false
+	}
+	delete(c.conns, dpid)
+	c.deadSwitches[dpid] = c.kernel.Now()
+	c.m.switchDisconnects.Inc()
+	c.event(obs.KindTopology, "switch-disconnected", PortRef{DPID: dpid}, "")
+	c.logf("switch 0x%x disconnected", dpid)
+	c.failPendingProbes(dpid)
+	c.removeLinksMatching(func(l Link) bool {
+		return l.Src.DPID == dpid || l.Dst.DPID == dpid
+	}, "switch-down")
+	for ref := range c.pendingLLDP {
+		if ref.DPID == dpid {
+			delete(c.pendingLLDP, ref)
+		}
+	}
+	for _, o := range c.switchObservers {
+		o.ObserveSwitchDisconnect(dpid)
+	}
+	return true
 }
 
 // Register adds a security module and wires every hook interface it
@@ -179,6 +219,9 @@ func (c *Controller) Register(m SecurityModule) {
 	}
 	if h, ok := m.(FlowModObserver); ok {
 		c.fmObservers = append(c.fmObservers, h)
+	}
+	if h, ok := m.(SwitchObserver); ok {
+		c.switchObservers = append(c.switchObservers, h)
 	}
 }
 
@@ -233,7 +276,15 @@ func (conn *Conn) Handle(data []byte) {
 				break
 			}
 		}
+		if _, wasDead := c.deadSwitches[conn.dpid]; wasDead {
+			delete(c.deadSwitches, conn.dpid)
+			c.m.switchReconnects.Inc()
+			c.event(obs.KindTopology, "switch-reconnected", PortRef{DPID: conn.dpid}, "")
+		}
 		c.logf("switch 0x%x connected with %d ports", conn.dpid, len(msg.Ports))
+		for _, o := range c.switchObservers {
+			o.ObserveSwitchConnect(conn.dpid)
+		}
 		// Floodlight probes a switch's ports as soon as it joins rather
 		// than waiting out a full discovery interval.
 		for _, p := range msg.Ports {
@@ -262,18 +313,9 @@ func (c *Controller) handlePortStatus(dpid uint64, msg *openflow.PortStatus) {
 	ev := &PortStatusEvent{DPID: dpid, Status: msg, When: c.kernel.Now()}
 	if ev.Down() {
 		ref := ev.Loc()
-		evicted := false
-		for l := range c.links {
-			if l.Src == ref || l.Dst == ref {
-				delete(c.links, l)
-				evicted = true
-				c.m.linksRemoved.Inc()
-				c.event(obs.KindTopology, "link-removed", l.Src, "port-down "+l.String())
-			}
-		}
-		if evicted {
-			c.invalidateTopo()
-		}
+		c.removeLinksMatching(func(l Link) bool {
+			return l.Src == ref || l.Dst == ref
+		}, "port-down")
 	}
 	for _, o := range c.portObservers {
 		o.ObservePortStatus(ev)
@@ -399,14 +441,7 @@ func (c *Controller) Links() []Link {
 	for l := range c.links {
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src.DPID < out[j].Src.DPID ||
-				(out[i].Src.DPID == out[j].Src.DPID && out[i].Src.Port < out[j].Src.Port)
-		}
-		return out[i].Dst.DPID < out[j].Dst.DPID ||
-			(out[i].Dst.DPID == out[j].Dst.DPID && out[i].Dst.Port < out[j].Dst.Port)
-	})
+	sortLinks(out)
 	return out
 }
 

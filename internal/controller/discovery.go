@@ -138,23 +138,13 @@ func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
 // a long-delayed frame cannot resurrect a stale emission time.
 func (c *Controller) sweepLinks() {
 	now := c.kernel.Now()
-	evicted := false
-	for l, seen := range c.links {
-		if now.Sub(seen) >= c.profile.LinkTimeout {
-			delete(c.links, l)
-			delete(c.linkBorn, l)
-			evicted = true
-			c.m.linksRemoved.Inc()
-			c.event(obs.KindTopology, "link-removed", l.Src, "timeout "+l.String())
-			c.logf("link timed out: %s", l)
-		}
-	}
-	if evicted {
-		c.invalidateTopo()
-	}
+	c.removeLinksMatching(func(l Link) bool {
+		return now.Sub(c.links[l]) >= c.profile.LinkTimeout
+	}, "timeout")
 	for ref, sent := range c.pendingLLDP {
 		if now.Sub(sent) >= c.profile.LinkTimeout {
 			delete(c.pendingLLDP, ref)
 		}
 	}
+	c.ageDeadSwitchHosts(now)
 }

@@ -1,7 +1,10 @@
 package controller
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
+	"time"
 
 	"sdntamper/internal/obs"
 	"sdntamper/internal/packet"
@@ -92,6 +95,35 @@ func (c *Controller) RestoreHostLocation(mac packet.MAC, loc PortRef) {
 
 // ForgetHost removes a host's tracking entry entirely.
 func (c *Controller) ForgetHost(mac packet.MAC) { delete(c.hosts, mac) }
+
+// ageDeadSwitchHosts evicts Host Tracking Service entries attached to
+// switches whose control channel has been down for at least the link
+// timeout. A host behind a dead switch is unverifiable — no Packet-In can
+// refresh it and no probe can reach it — so after the same grace period
+// links get, its binding is stale state an attacker could squat on.
+// Eviction runs in MAC order so the emitted events are reproducible.
+func (c *Controller) ageDeadSwitchHosts(now time.Time) {
+	if len(c.deadSwitches) == 0 {
+		return
+	}
+	var doomed []packet.MAC
+	for mac, h := range c.hosts {
+		down, dead := c.deadSwitches[h.Loc.DPID]
+		if dead && now.Sub(down) >= c.profile.LinkTimeout {
+			doomed = append(doomed, mac)
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool {
+		return bytes.Compare(doomed[i][:], doomed[j][:]) < 0
+	})
+	for _, mac := range doomed {
+		h := c.hosts[mac]
+		delete(c.hosts, mac)
+		c.m.hostsAgedOut.Inc()
+		c.event(obs.KindTopology, "host-aged-out", h.Loc, mac.String())
+		c.logf("host %s aged out: switch 0x%x dead past link timeout", mac, h.Loc.DPID)
+	}
+}
 
 func isControllerMAC(m packet.MAC) bool {
 	return m[0] == 0x02 && m[1] == 0xc0 && m[2] == 0xff

@@ -1,0 +1,218 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
+)
+
+// These white-box tests pin the pending-probe lifecycle: a switch
+// disconnect must fail-fast every waiter bound to it, cancel the waiters'
+// timeout events, and leave all four pending tables empty; stats waiters
+// must expire on their own when a reply is lost; and host tracking
+// entries behind a dead switch must age out on the link-timeout horizon.
+
+// connectSwitch completes a Features handshake for dpid over a no-op
+// transport, giving the controller a live Conn to probe through.
+func connectSwitch(c *Controller, dpid uint64) *Conn {
+	conn := c.Connect(func([]byte) {})
+	conn.Handle(openflow.Marshal(1, &openflow.FeaturesReply{
+		DatapathID: dpid,
+		Ports:      []openflow.PortDesc{{No: 1, Up: true}},
+	}))
+	return conn
+}
+
+func TestDisconnectFailsAllPendingProbes(t *testing.T) {
+	c, k := newBareController(t)
+	connectSwitch(c, 5)
+
+	var echoCalls, pathCalls, hostCalls, flowCalls, portCalls int
+	c.MeasureEchoRTT(5, 30*time.Second, func(_ time.Duration, ok bool) {
+		echoCalls++
+		if ok {
+			t.Error("echo probe reported ok after disconnect")
+		}
+	})
+	c.MeasureControlRTT(5, 30*time.Second, func(_ time.Duration, ok bool) {
+		pathCalls++
+		if ok {
+			t.Error("path probe reported ok after disconnect")
+		}
+	})
+	c.ProbeHost(PortRef{DPID: 5, Port: 1}, packet.MustMAC("aa:aa:aa:aa:aa:aa"),
+		packet.MustIPv4("10.0.0.1"), 30*time.Second, func(alive bool) {
+			hostCalls++
+			if alive {
+				t.Error("host probe reported alive after disconnect")
+			}
+		})
+	c.RequestFlowStats(5, func(fs []openflow.FlowStats) {
+		flowCalls++
+		if fs != nil {
+			t.Error("flow stats non-nil after disconnect")
+		}
+	})
+	c.RequestPortStats(5, func(ps []openflow.PortStats) {
+		portCalls++
+		if ps != nil {
+			t.Error("port stats non-nil after disconnect")
+		}
+	})
+
+	if got := c.PendingProbes(); got.Total() != 5 {
+		t.Fatalf("pending before disconnect = %+v, want 5 total", got)
+	}
+	if !c.Disconnect(5) {
+		t.Fatal("Disconnect reported switch not connected")
+	}
+	if got := c.PendingProbes(); got.Total() != 0 {
+		t.Fatalf("pending after disconnect = %+v, want all tables empty", got)
+	}
+	if echoCalls != 1 || pathCalls != 1 || hostCalls != 1 || flowCalls != 1 || portCalls != 1 {
+		t.Fatalf("failure callbacks = echo:%d path:%d host:%d flow:%d port:%d, want one each",
+			echoCalls, pathCalls, hostCalls, flowCalls, portCalls)
+	}
+
+	// Every waiter's timeout event must have been canceled: running the
+	// kernel past every timeout horizon must not re-fire any callback.
+	k.RunFor(2 * time.Minute)
+	if echoCalls != 1 || pathCalls != 1 || hostCalls != 1 || flowCalls != 1 || portCalls != 1 {
+		t.Fatalf("callbacks re-fired after timeout horizon = echo:%d path:%d host:%d flow:%d port:%d",
+			echoCalls, pathCalls, hostCalls, flowCalls, portCalls)
+	}
+}
+
+func TestDisconnectLeavesOtherSwitchProbesPending(t *testing.T) {
+	c, _ := newBareController(t)
+	connectSwitch(c, 5)
+	connectSwitch(c, 6)
+	c.MeasureEchoRTT(5, time.Minute, func(time.Duration, bool) {})
+	c.MeasureEchoRTT(6, time.Minute, func(time.Duration, bool) {})
+	c.Disconnect(5)
+	if got := c.PendingProbes().Echoes; got != 1 {
+		t.Fatalf("pending echoes after disconnecting dpid 5 = %d, want dpid 6's survivor", got)
+	}
+}
+
+func TestDisconnectUnknownSwitch(t *testing.T) {
+	c, _ := newBareController(t)
+	if c.Disconnect(42) {
+		t.Fatal("Disconnect of never-connected switch reported true")
+	}
+}
+
+func TestStatsRequestTimesOut(t *testing.T) {
+	c, k := newBareController(t)
+	connectSwitch(c, 5)
+	var calls int
+	c.RequestFlowStats(5, func(fs []openflow.FlowStats) {
+		calls++
+		if fs != nil {
+			t.Error("timed-out stats request delivered a reply")
+		}
+	})
+	k.RunFor(statsRequestTimeout - time.Second)
+	if calls != 0 {
+		t.Fatal("stats callback fired before the timeout")
+	}
+	k.RunFor(2 * time.Second)
+	if calls != 1 {
+		t.Fatalf("stats callback fired %d times after timeout, want 1", calls)
+	}
+	if got := c.PendingProbes().Stats; got != 0 {
+		t.Fatalf("stats waiters leaked: %d", got)
+	}
+	// Long after expiry nothing re-fires.
+	k.RunFor(time.Minute)
+	if calls != 1 {
+		t.Fatalf("stats callback re-fired: %d", calls)
+	}
+}
+
+func TestDisconnectEvictsLinksAndPendingLLDP(t *testing.T) {
+	c, k := newBareController(t)
+	connectSwitch(c, 5)
+	stay := Link{Src: PortRef{DPID: 1, Port: 2}, Dst: PortRef{DPID: 2, Port: 1}}
+	gone := Link{Src: PortRef{DPID: 5, Port: 2}, Dst: PortRef{DPID: 2, Port: 5}}
+	c.links[stay], c.linkBorn[stay] = k.Now(), k.Now()
+	c.links[gone], c.linkBorn[gone] = k.Now(), k.Now()
+	c.Disconnect(5)
+	if c.HasLink(gone) {
+		t.Fatal("dead switch's link survived disconnect")
+	}
+	if !c.HasLink(stay) {
+		t.Fatal("unrelated link evicted on disconnect")
+	}
+	for ref := range c.pendingLLDP {
+		if ref.DPID == 5 {
+			t.Fatalf("pending LLDP stamp for dead switch survived: %v", ref)
+		}
+	}
+}
+
+func TestHostAgingAfterDisconnect(t *testing.T) {
+	c, k := newBareController(t)
+	connectSwitch(c, 5)
+	connectSwitch(c, 6)
+	macDead := packet.MustMAC("aa:aa:aa:aa:aa:05")
+	macLive := packet.MustMAC("aa:aa:aa:aa:aa:06")
+	c.hosts[macDead] = &HostEntry{MAC: macDead, Loc: PortRef{DPID: 5, Port: 1}, LastSeen: k.Now()}
+	c.hosts[macLive] = &HostEntry{MAC: macLive, Loc: PortRef{DPID: 6, Port: 1}, LastSeen: k.Now()}
+
+	c.Disconnect(5)
+	k.RunFor(c.profile.LinkTimeout - 2*time.Second)
+	if _, ok := c.HostByMAC(macDead); !ok {
+		t.Fatal("host aged out before the link timeout")
+	}
+	k.RunFor(4 * time.Second)
+	if _, ok := c.HostByMAC(macDead); ok {
+		t.Fatal("host behind dead switch not aged out after link timeout")
+	}
+	if _, ok := c.HostByMAC(macLive); !ok {
+		t.Fatal("host behind live switch evicted")
+	}
+}
+
+func TestReconnectBeforeTimeoutKeepsHosts(t *testing.T) {
+	c, k := newBareController(t)
+	connectSwitch(c, 5)
+	mac := packet.MustMAC("aa:aa:aa:aa:aa:05")
+	c.hosts[mac] = &HostEntry{MAC: mac, Loc: PortRef{DPID: 5, Port: 1}, LastSeen: k.Now()}
+	c.Disconnect(5)
+	k.RunFor(10 * time.Second)
+	connectSwitch(c, 5) // reconnect clears the dead-switch record
+	k.RunFor(2 * c.profile.LinkTimeout)
+	if _, ok := c.HostByMAC(mac); !ok {
+		t.Fatal("host aged out despite switch reconnecting within the timeout")
+	}
+}
+
+// lifecycleRecorder is a SecurityModule recording switch lifecycle hooks.
+type lifecycleRecorder struct {
+	disconnects []uint64
+	connects    []uint64
+}
+
+func (r *lifecycleRecorder) ModuleName() string { return "lifecycle-recorder" }
+func (r *lifecycleRecorder) ObserveSwitchDisconnect(dpid uint64) {
+	r.disconnects = append(r.disconnects, dpid)
+}
+func (r *lifecycleRecorder) ObserveSwitchConnect(dpid uint64) { r.connects = append(r.connects, dpid) }
+
+func TestSwitchObserverSeesLifecycle(t *testing.T) {
+	c, _ := newBareController(t)
+	rec := &lifecycleRecorder{}
+	c.Register(rec)
+	connectSwitch(c, 5)
+	c.Disconnect(5)
+	connectSwitch(c, 5)
+	if len(rec.connects) != 2 || rec.connects[0] != 5 || rec.connects[1] != 5 {
+		t.Fatalf("connect notifications = %v, want [5 5]", rec.connects)
+	}
+	if len(rec.disconnects) != 1 || rec.disconnects[0] != 5 {
+		t.Fatalf("disconnect notifications = %v, want [5]", rec.disconnects)
+	}
+}

@@ -26,6 +26,13 @@ const (
 	MetricTopoMisses    = "controller_topo_cache_miss_total"
 	MetricTopoRebuilds  = "controller_topo_rebuild_total"
 	MetricLLDPRTT       = "controller_lldp_rtt_seconds"
+
+	// Switch control-channel lifecycle and probe-failure metrics, recorded
+	// by the disconnect/reconnect path the chaos layer drives.
+	MetricSwitchDisconnects = "controller_switch_disconnect_total"
+	MetricSwitchReconnects  = "controller_switch_reconnect_total"
+	MetricProbesFailed      = "controller_probe_failed_total"
+	MetricHostsAgedOut      = "controller_host_aged_out_total"
 )
 
 // ctlMetrics holds the controller's resolved metric handles. Hot paths
@@ -50,6 +57,11 @@ type ctlMetrics struct {
 	topoMisses    *obs.Counter
 	topoRebuilds  *obs.Counter
 	lldpRTT       *obs.Histogram
+
+	switchDisconnects *obs.Counter
+	switchReconnects  *obs.Counter
+	probesFailed      *obs.Counter
+	hostsAgedOut      *obs.Counter
 
 	// alertReasons caches the per-(module,reason) labeled counters so a
 	// repeated alert (the paper's alert-flood attack raises thousands)
@@ -82,7 +94,13 @@ func newCtlMetrics(reg *obs.Registry) ctlMetrics {
 		topoMisses:    reg.Counter(MetricTopoMisses),
 		topoRebuilds:  reg.Counter(MetricTopoRebuilds),
 		lldpRTT:       reg.HistogramWithBuckets(MetricLLDPRTT, obs.DefaultLatencyBuckets()),
-		alertReasons:  make(map[alertKey]*obs.Counter),
+
+		switchDisconnects: reg.Counter(MetricSwitchDisconnects),
+		switchReconnects:  reg.Counter(MetricSwitchReconnects),
+		probesFailed:      reg.Counter(MetricProbesFailed),
+		hostsAgedOut:      reg.Counter(MetricHostsAgedOut),
+
+		alertReasons: make(map[alertKey]*obs.Counter),
 	}
 }
 

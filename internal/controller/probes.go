@@ -2,6 +2,7 @@ package controller
 
 import (
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"sdntamper/internal/openflow"
@@ -9,7 +10,14 @@ import (
 	"sdntamper/internal/sim"
 )
 
+// statsRequestTimeout bounds how long a flow/port stats waiter may sit in
+// the pending table. A switch that disconnects (or a reply lost on the
+// control channel) must not leak the waiter forever: the callback fires
+// with nil on expiry, exactly like an echo probe reports ok=false.
+const statsRequestTimeout = 5 * time.Second
+
 type pendingEcho struct {
+	dpid    uint64
 	sent    time.Time
 	timeout *sim.Event
 	cb      func(time.Duration, bool)
@@ -27,7 +35,7 @@ func (c *Controller) MeasureEchoRTT(dpid uint64, timeout time.Duration, cb func(
 	data := make([]byte, 8)
 	binary.BigEndian.PutUint64(data, c.probeNonce)
 	xid := conn.sendMsg(&openflow.EchoRequest{Data: data})
-	p := &pendingEcho{sent: c.kernel.Now(), cb: cb}
+	p := &pendingEcho{dpid: dpid, sent: c.kernel.Now(), cb: cb}
 	p.timeout = c.kernel.Schedule(timeout, func() {
 		delete(c.pendingEchoes, xid)
 		cb(0, false)
@@ -46,6 +54,7 @@ func (c *Controller) resolveEcho(xid uint32) {
 }
 
 type pendingPathProbe struct {
+	dpid    uint64
 	sent    time.Time
 	timeout *sim.Event
 	cb      func(time.Duration, bool)
@@ -71,7 +80,7 @@ func (c *Controller) MeasureControlRTT(dpid uint64, timeout time.Duration, cb fu
 		Type:    pathProbeEtherType,
 		Payload: payload,
 	}
-	p := &pendingPathProbe{sent: c.kernel.Now(), cb: cb}
+	p := &pendingPathProbe{dpid: dpid, sent: c.kernel.Now(), cb: cb}
 	p.timeout = c.kernel.Schedule(timeout, func() {
 		delete(c.pendingPathProbes, nonce)
 		cb(0, false)
@@ -96,6 +105,7 @@ func (c *Controller) resolvePathProbe(eth *packet.Ethernet) {
 }
 
 type pendingHostProbe struct {
+	dpid    uint64
 	timeout *sim.Event
 	cb      func(bool)
 }
@@ -111,7 +121,7 @@ func (c *Controller) ProbeHost(loc PortRef, mac packet.MAC, ip packet.IPv4Addr, 
 	}
 	c.icmpID++
 	id := c.icmpID
-	p := &pendingHostProbe{cb: cb}
+	p := &pendingHostProbe{dpid: loc.DPID, cb: cb}
 	p.timeout = c.kernel.Schedule(timeout, func() {
 		delete(c.pendingHostProbes, id)
 		cb(false)
@@ -147,14 +157,26 @@ func (c *Controller) resolveHostProbe(ev *PacketInEvent) bool {
 }
 
 type pendingStats struct {
-	flowCB func([]openflow.FlowStats)
-	portCB func([]openflow.PortStats)
+	dpid    uint64
+	timeout *sim.Event
+	flowCB  func([]openflow.FlowStats)
+	portCB  func([]openflow.PortStats)
 }
 
-// statsWaiters is keyed by xid.
-var _ = pendingStats{}
+// fail invokes the waiter's callback with the empty reply it carries for
+// the lost-reply case.
+func (w pendingStats) fail() {
+	if w.flowCB != nil {
+		w.flowCB(nil)
+	}
+	if w.portCB != nil {
+		w.portCB(nil)
+	}
+}
 
-// RequestFlowStats implements API.
+// RequestFlowStats implements API. A reply that never arrives (lost on the
+// control channel, or the switch disconnects) resolves the callback with
+// nil after statsRequestTimeout instead of leaking the waiter.
 func (c *Controller) RequestFlowStats(dpid uint64, cb func([]openflow.FlowStats)) {
 	conn, ok := c.conns[dpid]
 	if !ok {
@@ -162,10 +184,11 @@ func (c *Controller) RequestFlowStats(dpid uint64, cb func([]openflow.FlowStats)
 		return
 	}
 	xid := conn.sendMsg(&openflow.StatsRequest{Kind: openflow.StatsFlow, PortNo: openflow.PortNone})
-	c.statsWaiters()[xid] = pendingStats{flowCB: cb}
+	c.registerStatsWaiter(xid, pendingStats{dpid: dpid, flowCB: cb})
 }
 
-// RequestPortStats implements API.
+// RequestPortStats implements API, with the same timeout treatment as
+// RequestFlowStats.
 func (c *Controller) RequestPortStats(dpid uint64, cb func([]openflow.PortStats)) {
 	conn, ok := c.conns[dpid]
 	if !ok {
@@ -173,7 +196,20 @@ func (c *Controller) RequestPortStats(dpid uint64, cb func([]openflow.PortStats)
 		return
 	}
 	xid := conn.sendMsg(&openflow.StatsRequest{Kind: openflow.StatsPort, PortNo: openflow.PortNone})
-	c.statsWaiters()[xid] = pendingStats{portCB: cb}
+	c.registerStatsWaiter(xid, pendingStats{dpid: dpid, portCB: cb})
+}
+
+func (c *Controller) registerStatsWaiter(xid uint32, w pendingStats) {
+	w.timeout = c.kernel.Schedule(statsRequestTimeout, func() {
+		w, ok := c.statsWaiters()[xid]
+		if !ok {
+			return
+		}
+		delete(c.pendingStats, xid)
+		c.m.probesFailed.Inc()
+		w.fail()
+	})
+	c.statsWaiters()[xid] = w
 }
 
 func (c *Controller) statsWaiters() map[uint32]pendingStats {
@@ -189,6 +225,7 @@ func (c *Controller) resolveStats(xid uint32, reply *openflow.StatsReply) {
 		return
 	}
 	delete(c.pendingStats, xid)
+	w.timeout.Cancel()
 	switch reply.Kind {
 	case openflow.StatsFlow:
 		if w.flowCB != nil {
@@ -198,5 +235,99 @@ func (c *Controller) resolveStats(xid uint32, reply *openflow.StatsReply) {
 		if w.portCB != nil {
 			w.portCB(reply.Ports)
 		}
+	}
+}
+
+// failPendingProbes resolves and removes every pending echo, path probe,
+// host probe and stats waiter bound to a switch, canceling each entry's
+// timeout event so nothing fires (or lingers in the kernel queue) after
+// the fast failure. Callbacks run in sorted key order: they may schedule
+// work or draw randomness, and map iteration order would make runs
+// irreproducible.
+func (c *Controller) failPendingProbes(dpid uint64) {
+	echoXIDs := make([]uint32, 0, len(c.pendingEchoes))
+	for xid, p := range c.pendingEchoes {
+		if p.dpid == dpid {
+			echoXIDs = append(echoXIDs, xid)
+		}
+	}
+	sort.Slice(echoXIDs, func(i, j int) bool { return echoXIDs[i] < echoXIDs[j] })
+	for _, xid := range echoXIDs {
+		p := c.pendingEchoes[xid]
+		delete(c.pendingEchoes, xid)
+		p.timeout.Cancel()
+		c.m.probesFailed.Inc()
+		p.cb(0, false)
+	}
+
+	nonces := make([]uint64, 0, len(c.pendingPathProbes))
+	for nonce, p := range c.pendingPathProbes {
+		if p.dpid == dpid {
+			nonces = append(nonces, nonce)
+		}
+	}
+	sort.Slice(nonces, func(i, j int) bool { return nonces[i] < nonces[j] })
+	for _, nonce := range nonces {
+		p := c.pendingPathProbes[nonce]
+		delete(c.pendingPathProbes, nonce)
+		p.timeout.Cancel()
+		c.m.probesFailed.Inc()
+		p.cb(0, false)
+	}
+
+	ids := make([]uint16, 0, len(c.pendingHostProbes))
+	for id, p := range c.pendingHostProbes {
+		if p.dpid == dpid {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := c.pendingHostProbes[id]
+		delete(c.pendingHostProbes, id)
+		p.timeout.Cancel()
+		c.m.probesFailed.Inc()
+		p.cb(false)
+	}
+
+	statsXIDs := make([]uint32, 0, len(c.pendingStats))
+	for xid, w := range c.pendingStats {
+		if w.dpid == dpid {
+			statsXIDs = append(statsXIDs, xid)
+		}
+	}
+	sort.Slice(statsXIDs, func(i, j int) bool { return statsXIDs[i] < statsXIDs[j] })
+	for _, xid := range statsXIDs {
+		w := c.pendingStats[xid]
+		delete(c.pendingStats, xid)
+		w.timeout.Cancel()
+		c.m.probesFailed.Inc()
+		w.fail()
+	}
+}
+
+// PendingProbeCounts is a diagnostic snapshot of the controller's pending
+// probe tables. Chaos and leak tests assert all four return to zero after
+// fault episodes.
+type PendingProbeCounts struct {
+	Echoes     int
+	PathProbes int
+	HostProbes int
+	Stats      int
+}
+
+// Total sums all pending entries.
+func (p PendingProbeCounts) Total() int {
+	return p.Echoes + p.PathProbes + p.HostProbes + p.Stats
+}
+
+// PendingProbes reports how many probe waiters of each kind are currently
+// outstanding.
+func (c *Controller) PendingProbes() PendingProbeCounts {
+	return PendingProbeCounts{
+		Echoes:     len(c.pendingEchoes),
+		PathProbes: len(c.pendingPathProbes),
+		HostProbes: len(c.pendingHostProbes),
+		Stats:      len(c.pendingStats),
 	}
 }

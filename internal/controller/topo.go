@@ -1,6 +1,10 @@
 package controller
 
-import "sort"
+import (
+	"sort"
+
+	"sdntamper/internal/obs"
+)
 
 // topoCache holds incrementally maintained derived views of the link
 // topology so the reactive-forwarding hot path does not rebuild them per
@@ -32,6 +36,43 @@ type egressSel struct {
 // invalidateTopo drops every derived topology view; the next forwarding
 // query rebuilds them from c.links.
 func (c *Controller) invalidateTopo() { c.topo.valid = false }
+
+// sortLinks orders links by (Src, Dst) so every bulk operation over the
+// link map — snapshots, evictions — runs in a reproducible order.
+func sortLinks(ls []Link) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Src != ls[j].Src {
+			return ls[i].Src.DPID < ls[j].Src.DPID ||
+				(ls[i].Src.DPID == ls[j].Src.DPID && ls[i].Src.Port < ls[j].Src.Port)
+		}
+		return ls[i].Dst.DPID < ls[j].Dst.DPID ||
+			(ls[i].Dst.DPID == ls[j].Dst.DPID && ls[i].Dst.Port < ls[j].Dst.Port)
+	})
+}
+
+// removeLinksMatching evicts every link the predicate selects, emitting
+// one link-removed event per eviction in sorted link order (event and
+// metric order must not depend on map iteration), and reports how many
+// links left the topology.
+func (c *Controller) removeLinksMatching(pred func(Link) bool, reason string) int {
+	doomed := make([]Link, 0, len(c.links))
+	for l := range c.links {
+		if pred(l) {
+			doomed = append(doomed, l)
+		}
+	}
+	sortLinks(doomed)
+	for _, l := range doomed {
+		delete(c.links, l)
+		delete(c.linkBorn, l)
+		c.m.linksRemoved.Inc()
+		c.event(obs.KindTopology, "link-removed", l.Src, reason+" "+l.String())
+	}
+	if len(doomed) > 0 {
+		c.invalidateTopo()
+	}
+	return len(doomed)
+}
 
 // ensureTopo rebuilds the derived views after an invalidation and returns
 // the cache. The adjacency lists are deduplicated (parallel links collapse

@@ -203,6 +203,16 @@ type FlowModObserver interface {
 	ObserveFlowMod(dpid uint64, fm *openflow.FlowMod)
 }
 
+// SwitchObserver sees switch control-channel lifecycle transitions:
+// ObserveSwitchDisconnect when a control connection is torn down, and
+// ObserveSwitchConnect when a switch (re)completes the Features handshake.
+// The LLI uses these to discard control-latency estimates that straddle a
+// disconnect, which would otherwise poison its per-link baselines.
+type SwitchObserver interface {
+	ObserveSwitchDisconnect(dpid uint64)
+	ObserveSwitchConnect(dpid uint64)
+}
+
 // API is the controller surface exposed to security modules.
 type API interface {
 	// Now reports current virtual time.

@@ -17,8 +17,17 @@ type instrumented[R any] struct {
 // is byte-identical regardless of the worker count. A trial may return a
 // nil registry; it simply contributes nothing to the merge.
 func RunInstrumented[R any](seeds []int64, workers int, trial func(seed int64) (R, *obs.Registry, error)) ([]R, *obs.Registry, error) {
-	wrapped, err := Grid(seeds, workers, func(seed int64) (instrumented[R], error) {
-		r, reg, err := trial(seed)
+	return GridInstrumented(seeds, workers, trial)
+}
+
+// GridInstrumented is RunInstrumented generalized over arbitrary work
+// items: experiments whose trials are not plain seeds (e.g. the chaos
+// harness's fault-class x seed grid) run each item with a private
+// registry and get the merge in item order, preserving the byte-identical
+// snapshot guarantee across worker counts.
+func GridInstrumented[T, R any](items []T, workers int, fn func(item T) (R, *obs.Registry, error)) ([]R, *obs.Registry, error) {
+	wrapped, err := Grid(items, workers, func(item T) (instrumented[R], error) {
+		r, reg, err := fn(item)
 		return instrumented[R]{result: r, metrics: reg}, err
 	})
 	if err != nil {

@@ -103,6 +103,23 @@ func (l *Link) SetLossRate(p float64) {
 // Dropped reports frames lost to injected loss.
 func (l *Link) Dropped() uint64 { return l.dropped }
 
+// LossRate reports the current injected per-frame drop probability.
+func (l *Link) LossRate() float64 { return l.lossRate }
+
+// Latency reports the link's current per-frame delay sampler.
+func (l *Link) Latency() sim.Sampler { return l.latency }
+
+// SetLatency swaps the link's delay sampler. Frames already in flight keep
+// the delay they were sent with; only subsequent sends sample the new
+// distribution. Fault injection wraps the current sampler (e.g. with
+// sim.Scaled) for the duration of a latency spike and restores it after.
+func (l *Link) SetLatency(s sim.Sampler) {
+	if s == nil {
+		s = sim.Const(0)
+	}
+	l.latency = s
+}
+
 // Send transmits a frame from the given end. The frame is delivered to
 // the peer after the link's sampled latency. Frames are dropped (as on a
 // real wire) if either transceiver is down at send time, if the
@@ -173,12 +190,16 @@ func (e *Endpoint) PeerCarrierUp() bool { return e.link.CarrierUp(e.end.other())
 
 // Channel is a generic unidirectional-pair message pipe with latency, used
 // for controller-switch control connections and for attacker out-of-band
-// side channels. Unlike Link it has no carrier semantics.
+// side channels. Unlike Link it has no carrier semantics, but it supports
+// the same injected loss and latency knobs so control channels can be
+// degraded in fault-injection experiments.
 type Channel struct {
-	kernel  *sim.Kernel
-	latency sim.Sampler
-	onA     func([]byte)
-	onB     func([]byte)
+	kernel   *sim.Kernel
+	latency  sim.Sampler
+	lossRate float64
+	dropped  uint64
+	onA      func([]byte)
+	onB      func([]byte)
 }
 
 // NewChannel creates a bidirectional message pipe with the given one-way
@@ -199,9 +220,44 @@ func (c *Channel) OnReceive(end End, fn func([]byte)) {
 	}
 }
 
+// SetLossRate sets an independent per-message drop probability on the
+// channel, modeling a degraded control connection.
+func (c *Channel) SetLossRate(p float64) {
+	switch {
+	case p < 0:
+		c.lossRate = 0
+	case p > 1:
+		c.lossRate = 1
+	default:
+		c.lossRate = p
+	}
+}
+
+// Dropped reports messages lost to injected loss.
+func (c *Channel) Dropped() uint64 { return c.dropped }
+
+// LossRate reports the current injected per-message drop probability.
+func (c *Channel) LossRate() float64 { return c.lossRate }
+
+// Latency reports the channel's current per-message delay sampler.
+func (c *Channel) Latency() sim.Sampler { return c.latency }
+
+// SetLatency swaps the channel's delay sampler. Messages already in flight
+// keep the delay they were sent with.
+func (c *Channel) SetLatency(s sim.Sampler) {
+	if s == nil {
+		s = sim.Const(0)
+	}
+	c.latency = s
+}
+
 // Send delivers a message to the other end after the channel latency.
 // Messages sent before the receiving handler is registered are dropped.
 func (c *Channel) Send(from End, data []byte) {
+	if c.lossRate > 0 && c.kernel.Rand().Float64() < c.lossRate {
+		c.dropped++
+		return
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	c.kernel.Schedule(c.latency.Sample(c.kernel.Rand()), func() {

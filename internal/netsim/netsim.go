@@ -6,6 +6,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"sdntamper/internal/controller"
@@ -43,6 +44,12 @@ type Network struct {
 	switches map[uint64]*dataplane.Switch
 	hosts    map[string]*dataplane.Host
 	hostLoc  map[string]controller.PortRef
+
+	// trunks records every inter-switch link in creation order and
+	// controls the per-switch control channel, so fault injectors can
+	// enumerate and degrade them without holding their own references.
+	trunks   []*link.Link
+	controls map[uint64]*link.Channel
 }
 
 // New creates an empty network with a controller using the given options
@@ -62,6 +69,7 @@ func New(seed int64, ctlOpts ...controller.Option) *Network {
 		switches:   make(map[uint64]*dataplane.Switch),
 		hosts:      make(map[string]*dataplane.Host),
 		hostLoc:    make(map[string]controller.PortRef),
+		controls:   make(map[uint64]*link.Channel),
 	}
 }
 
@@ -81,7 +89,58 @@ func (n *Network) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dataplane.
 	conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
 	ch.OnReceive(link.EndB, conn.Handle)
 	n.switches[dpid] = sw
+	n.controls[dpid] = ch
 	return sw
+}
+
+// SwitchIDs lists the datapath ids of every switch in the network in
+// ascending order (connected to the controller or not).
+func (n *Network) SwitchIDs() []uint64 {
+	out := make([]uint64, 0, len(n.switches))
+	for dpid := range n.switches {
+		out = append(out, dpid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ControlChannel returns the control channel wired between a switch and
+// the controller, or nil for an unknown switch. Fault injectors use it to
+// add loss or latency to the control path.
+func (n *Network) ControlChannel(dpid uint64) *link.Channel { return n.controls[dpid] }
+
+// DisconnectSwitch severs a switch's control channel: both channel ends
+// stop delivering (messages already in flight are dropped on arrival) and
+// the controller tears down its side of the connection, failing every
+// pending probe bound to the switch. The dataplane keeps forwarding on
+// its installed flows, as a real switch does in fail-standalone mode.
+// Reports false for an unknown switch.
+func (n *Network) DisconnectSwitch(dpid uint64) bool {
+	ch, ok := n.controls[dpid]
+	if !ok {
+		return false
+	}
+	ch.OnReceive(link.EndA, nil)
+	ch.OnReceive(link.EndB, nil)
+	n.Controller.Disconnect(dpid)
+	return true
+}
+
+// ReconnectSwitch re-establishes a previously severed control channel:
+// the switch's control handler is re-attached and a fresh controller
+// connection runs the Hello/Features handshake from scratch, after which
+// the controller re-probes the switch's ports. Reports false for an
+// unknown switch.
+func (n *Network) ReconnectSwitch(dpid uint64) bool {
+	ch, ok := n.controls[dpid]
+	if !ok {
+		return false
+	}
+	sw := n.switches[dpid]
+	ch.OnReceive(link.EndA, sw.HandleControl)
+	conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
+	ch.OnReceive(link.EndB, conn.Handle)
+	return true
 }
 
 // Switch returns a switch by datapath id, or nil.
@@ -129,7 +188,15 @@ func (n *Network) AddTrunk(dpidA uint64, portA uint32, dpidB uint64, portB uint3
 	l := link.NewLink(n.Kernel, latency)
 	swA.AddPort(portA, l, link.EndA, nil)
 	swB.AddPort(portB, l, link.EndB, nil)
+	n.trunks = append(n.trunks, l)
 	return l
+}
+
+// Trunks lists every inter-switch link in creation order.
+func (n *Network) Trunks() []*link.Link {
+	out := make([]*link.Link, len(n.trunks))
+	copy(out, n.trunks)
+	return out
 }
 
 // AddOOBChannel creates an out-of-band side channel (e.g. the attackers'

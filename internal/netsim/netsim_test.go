@@ -144,3 +144,63 @@ func TestTwoHostsSameSwitchConnectivity(t *testing.T) {
 		t.Fatal("same-switch ping failed")
 	}
 }
+
+func TestTrunksAndControlChannelAccessors(t *testing.T) {
+	n := netsim.New(1)
+	defer n.Shutdown()
+	n.AddSwitch(0x2, nil)
+	n.AddSwitch(0x1, nil)
+	tr := n.AddTrunk(0x1, 3, 0x2, 3, nil)
+	if got := n.Trunks(); len(got) != 1 || got[0] != tr {
+		t.Fatalf("Trunks() = %v", got)
+	}
+	if ids := n.SwitchIDs(); len(ids) != 2 || ids[0] != 0x1 || ids[1] != 0x2 {
+		t.Fatalf("SwitchIDs() = %v, want ascending [1 2]", ids)
+	}
+	if n.ControlChannel(0x1) == nil || n.ControlChannel(0x9) != nil {
+		t.Fatal("control channel lookup wrong")
+	}
+}
+
+func TestDisconnectSwitchEvictsStateAndReconnectRecovers(t *testing.T) {
+	n := netsim.New(7)
+	defer n.Shutdown()
+	n.AddSwitch(0x1, nil)
+	n.AddSwitch(0x2, nil)
+	n.AddTrunk(0x1, 3, 0x2, 3, nil)
+	// Let discovery verify the trunk in both directions.
+	if err := n.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Controller.Links()); got != 2 {
+		t.Fatalf("links before disconnect = %d, want 2", got)
+	}
+
+	if !n.DisconnectSwitch(0x2) {
+		t.Fatal("DisconnectSwitch(0x2) = false")
+	}
+	if n.DisconnectSwitch(0x9) {
+		t.Fatal("DisconnectSwitch of unknown switch = true")
+	}
+	if got := len(n.Controller.Links()); got != 0 {
+		t.Fatalf("links after disconnect = %d, want 0 (both directions touch 0x2)", got)
+	}
+	if got := len(n.Controller.Switches()); got != 1 {
+		t.Fatalf("connected switches after disconnect = %d", got)
+	}
+
+	if !n.ReconnectSwitch(0x2) {
+		t.Fatal("ReconnectSwitch(0x2) = false")
+	}
+	// Reconnect handshake + port probe + next discovery round restore the
+	// topology well within one discovery interval plus slack.
+	if err := n.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Controller.Switches()); got != 2 {
+		t.Fatalf("connected switches after reconnect = %d", got)
+	}
+	if got := len(n.Controller.Links()); got != 2 {
+		t.Fatalf("links after reconnect = %d, want rediscovered trunk both ways", got)
+	}
+}

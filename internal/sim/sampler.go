@@ -98,6 +98,23 @@ func (m Mixture) Sample(r *rand.Rand) time.Duration {
 	return m.Components[len(m.Components)-1].Sample(r)
 }
 
+// Scaled wraps a base sampler, multiplying every draw by Factor and adding
+// Offset. The chaos layer uses it to inflate a link's latency temporarily
+// (a congestion episode) without replacing the underlying distribution, so
+// the base sampler's RNG draw cadence is preserved and a run with a spike
+// consumes exactly as many random numbers as one without.
+type Scaled struct {
+	Base   Sampler
+	Factor float64
+	Offset time.Duration
+}
+
+// Sample implements Sampler.
+func (s Scaled) Sample(r *rand.Rand) time.Duration {
+	d := s.Base.Sample(r)
+	return time.Duration(float64(d)*s.Factor) + s.Offset
+}
+
 // Burst wraps a base sampler and, with probability P, adds an extra delay
 // drawn from Extra. It models the latency micro-bursts seen on the
 // testbed's switch links in Figure 10 (base ~5ms, occasional ~12ms).

@@ -173,12 +173,13 @@ func (s *DurationSeries) Histogram(buckets int) string {
 		hi = lo + 1
 	}
 	counts := make([]int, buckets)
-	width := (hi - lo) / time.Duration(buckets)
-	if width <= 0 {
-		width = 1
-	}
+	// Bucket bounds are computed in float64: integer division would
+	// truncate the width by up to (buckets-1) ns, silently funneling the
+	// truncation overflow into the final bucket and drifting the printed
+	// bucket labels away from the true bounds.
+	width := float64(hi-lo) / float64(buckets)
 	for _, d := range s.samples {
-		idx := int((d - lo) / width)
+		idx := int(float64(d-lo) / width)
 		if idx >= buckets {
 			idx = buckets - 1
 		}
@@ -192,7 +193,7 @@ func (s *DurationSeries) Histogram(buckets int) string {
 	}
 	var b strings.Builder
 	for i, c := range counts {
-		bucketLo := lo + time.Duration(i)*width
+		bucketLo := lo + time.Duration(float64(i)*width)
 		bar := ""
 		if maxCount > 0 {
 			bar = strings.Repeat("#", c*50/maxCount)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -196,6 +197,36 @@ func TestHistogramDegenerate(t *testing.T) {
 	}
 	if got := s.Histogram(0); got != "(no samples)" {
 		t.Fatalf("zero-bucket histogram = %q", got)
+	}
+}
+
+func TestHistogramBucketsUseFloatWidth(t *testing.T) {
+	// Regression: bucket width was computed with integer division, so a
+	// range not divisible by the bucket count truncated the width and the
+	// final bucket silently absorbed up to buckets-1 ns of overflow per
+	// sample. With samples 0..10ns over 4 buckets the truncated width (2ns)
+	// put {8,9,10} AND the clamped overflow {4..7 mapped one bucket early}
+	// into skewed buckets; the float width 2.5ns spreads them 3/2/3/3.
+	var s DurationSeries
+	for i := 0; i <= 10; i++ {
+		s.Add(time.Duration(i))
+	}
+	lines := strings.Split(strings.TrimRight(s.Histogram(4), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("histogram lines = %d, want 4", len(lines))
+	}
+	counts := make([]int, len(lines))
+	for i, l := range lines {
+		fields := strings.Fields(l)
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%d", &counts[i]); err != nil {
+			t.Fatalf("unparseable histogram line %q", l)
+		}
+	}
+	want := []int{3, 2, 3, 3}
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v (last bucket must not absorb truncation overflow)", counts, want)
+		}
 	}
 }
 

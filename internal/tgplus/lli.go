@@ -79,6 +79,7 @@ var (
 	_ controller.SecurityModule = (*LLI)(nil)
 	_ controller.Binder         = (*LLI)(nil)
 	_ controller.LinkApprover   = (*LLI)(nil)
+	_ controller.SwitchObserver = (*LLI)(nil)
 )
 
 // ModuleName implements controller.SecurityModule.
@@ -136,6 +137,22 @@ func (l *LLI) probeAllControls() {
 			est.window.Add(rtt)
 		})
 	}
+}
+
+// ObserveSwitchDisconnect implements controller.SwitchObserver: a
+// disconnect invalidates the switch's control-link estimate. RTTs sampled
+// over the old connection say nothing about the channel the switch comes
+// back on, and a stale estimate would skew every link-latency inference
+// touching this switch until three fresh probes overwrite the window.
+func (l *LLI) ObserveSwitchDisconnect(dpid uint64) {
+	delete(l.control, dpid)
+}
+
+// ObserveSwitchConnect implements controller.SwitchObserver: estimates are
+// also discarded at (re)connect, covering reconnections the module never
+// saw disconnect (e.g. the LLI registered between the two transitions).
+func (l *LLI) ObserveSwitchConnect(dpid uint64) {
+	delete(l.control, dpid)
 }
 
 // ControlLatency reports the current one-way control-link estimate for a

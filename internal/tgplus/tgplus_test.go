@@ -320,3 +320,35 @@ func TestModuleNames(t *testing.T) {
 		t.Fatal("LLI name")
 	}
 }
+
+func TestLLIEvictsControlEstimateOnDisconnect(t *testing.T) {
+	api := controllertest.New()
+	lli := tgplus.NewLLI(tgplus.DefaultLLIConfig())
+	lli.Bind(api)
+	api.SwitchIDs = []uint64{1}
+	api.ControlRTTs[1] = 4 * time.Millisecond
+	lli.Start()
+	defer lli.Stop()
+	if err := api.Kernel.RunFor(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lli.ControlLatency(1); !ok {
+		t.Fatal("no control estimate before disconnect")
+	}
+	lli.ObserveSwitchDisconnect(1)
+	if _, ok := lli.ControlLatency(1); ok {
+		t.Fatal("control estimate survived the switch disconnect")
+	}
+	// Probing continues and rebuilds the estimate; a reconnect then
+	// invalidates it again (the channel may have changed underneath).
+	if err := api.Kernel.RunFor(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lli.ControlLatency(1); !ok {
+		t.Fatal("estimate not rebuilt after probing resumed")
+	}
+	lli.ObserveSwitchConnect(1)
+	if _, ok := lli.ControlLatency(1); ok {
+		t.Fatal("control estimate survived the switch reconnect")
+	}
+}
