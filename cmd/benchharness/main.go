@@ -9,16 +9,23 @@
 // is produced on the deterministic virtual clock and reproduces exactly
 // for a fixed seed.
 //
-// The chaos experiment (fault injection, no attacker) is opt-in — it is
-// not part of "all":
+// The chaos experiment (fault injection, no attacker) and the fat-tree
+// scale experiment are opt-in — they are not part of "all":
 //
 //	benchharness -experiment chaos -chaostrials 5 -chaosout BENCH_pr3.json
+//	benchharness -experiment scale -seed 7
+//
+// Profiling: -cpuprofile and -memprofile write pprof files for whatever
+// experiment ran. Profiles observe wall-clock behavior only; they do not
+// perturb the virtual clock, so profiled runs stay deterministic.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -37,7 +44,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos")
+	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos, scale")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
@@ -45,8 +52,38 @@ func run(args []string) error {
 	chaosTrials := fs.Int("chaostrials", 5, "chaos experiment: seeded trials per fault class")
 	chaosClasses := fs.String("chaosclasses", "", "chaos experiment: comma-separated fault classes (default all: flap-storm,loss-episode,latency-spike,disconnect)")
 	chaosOut := fs.String("chaosout", "", "chaos experiment: write the JSON report to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile, taken after the run, to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// The snapshot is taken by the deferred func once every experiment
+		// has finished, so profile I/O never runs inside an experiment.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchharness:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchharness:", err)
+			}
+		}()
 	}
 
 	experiments := map[string]func(int64, int) error{
@@ -74,6 +111,7 @@ func run(args []string) error {
 		"chaos": func(s int64, _ int) error {
 			return printChaos(s, *chaosTrials, *workers, *chaosClasses, *chaosOut)
 		},
+		"scale": func(s int64, _ int) error { return printScale(s) },
 	}
 
 	if *experiment == "all" {
@@ -459,6 +497,25 @@ func printObs(seed int64, metricsPath string) error {
 		}
 		fmt.Printf("\nmetrics snapshot written to %s\n", metricsPath)
 	}
+	return nil
+}
+
+// printScale runs the fat-tree scale benchmark: full discovery plus
+// reactive cross-pod forwarding under TOPOGUARD+ at k=4 and k=8.
+func printScale(seed int64) error {
+	header("SCALE: k-ary fat-tree under TOPOGUARD+ (discovery + cross-pod traffic)")
+	fmt.Printf("%-4s %-10s %-7s %-8s %-8s %-8s %-10s %s\n",
+		"k", "switches", "hosts", "trunks", "links", "pings", "events", "wall")
+	for _, k := range []int{4, 8} {
+		r, err := core.RunScale(seed, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-4d %-10d %-7d %-8d %-8d %d/%-6d %-10d %s\n",
+			r.K, r.Switches, r.Hosts, r.Trunks, r.DirectedLinks,
+			r.PingsAnswered, r.PingsSent, r.Events, r.Wall.Truncate(time.Millisecond))
+	}
+	fmt.Println("(all trunks discovered in both directions; wall time is host-dependent)")
 	return nil
 }
 

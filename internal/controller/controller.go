@@ -85,6 +85,11 @@ type Controller struct {
 
 	discoveryTicker *sim.Ticker
 	sweepTicker     *sim.Ticker
+
+	// lldpBuf is the discovery scratch buffer: each probe's Ethernet+LLDP
+	// frame is built into it in place and copied out by the PacketOut
+	// marshal, so a discovery round allocates nothing per port.
+	lldpBuf []byte
 }
 
 var _ API = (*Controller)(nil)
@@ -231,11 +236,18 @@ type Conn struct {
 	send  func([]byte)
 	dpid  uint64
 	ports map[uint32]openflow.PortDesc
+
+	// txBuf is the connection's transmit scratch buffer; every outgoing
+	// message is marshaled into it in place (see sendMsg).
+	txBuf []byte
 }
 
 // Connect opens a control connection whose upstream transmit function is
 // send, and begins the Hello/Features handshake. Wire the returned Conn's
-// Handle method as the receive callback of the same channel.
+// Handle method as the receive callback of the same channel. send must
+// not retain the byte slice past the call: the connection marshals every
+// message into one reused scratch buffer (link.Channel ends satisfy this
+// because Channel.Send copies at ingress).
 func (c *Controller) Connect(send func([]byte)) *Conn {
 	conn := &Conn{ctl: c, send: send, ports: make(map[uint32]openflow.PortDesc)}
 	c.pending = append(c.pending, conn)
@@ -247,7 +259,8 @@ func (c *Controller) Connect(send func([]byte)) *Conn {
 func (conn *Conn) sendMsg(m openflow.Message) uint32 {
 	conn.ctl.xid++
 	xid := conn.ctl.xid
-	conn.send(openflow.Marshal(xid, m))
+	conn.txBuf = openflow.AppendMarshal(conn.txBuf[:0], xid, m)
+	conn.send(conn.txBuf)
 	return xid
 }
 
@@ -294,7 +307,8 @@ func (conn *Conn) Handle(data []byte) {
 		}
 	case *openflow.EchoRequest:
 		// Real peers keepalive the control channel; answer in kind.
-		conn.send(openflow.Marshal(xid, &openflow.EchoReply{Data: msg.Data}))
+		conn.txBuf = openflow.AppendMarshal(conn.txBuf[:0], xid, &openflow.EchoReply{Data: msg.Data})
+		conn.send(conn.txBuf)
 	case *openflow.EchoReply:
 		c.resolveEcho(xid)
 	case *openflow.PortStatus:
@@ -422,7 +436,7 @@ func (c *Controller) Metrics() *obs.Registry { return c.m.reg }
 func (c *Controller) Now() time.Time { return c.kernel.Now() }
 
 // Schedule implements API.
-func (c *Controller) Schedule(d time.Duration, fn func()) *sim.Event {
+func (c *Controller) Schedule(d time.Duration, fn func()) sim.Event {
 	return c.kernel.Schedule(d, fn)
 }
 

@@ -7,6 +7,7 @@ import (
 	"sdntamper/internal/lldp"
 	"sdntamper/internal/obs"
 	"sdntamper/internal/openflow"
+	"sdntamper/internal/packet"
 )
 
 // runDiscovery emits one LLDP probe per connected switch port, exactly as
@@ -47,8 +48,9 @@ func (c *Controller) emitLLDP(dpid uint64, port uint32) {
 	for _, o := range c.lldpObservers {
 		o.ObserveLLDPSend(ev)
 	}
-	eth := lldp.NewEthernet(switchPortMAC(dpid, port), frame)
-	c.sendPacketOut(dpid, openflow.PortNone, []openflow.Action{openflow.Output(port)}, eth.Marshal())
+	c.lldpBuf = packet.AppendEthernetHeader(c.lldpBuf[:0], lldp.MulticastMAC, switchPortMAC(dpid, port), packet.EtherTypeLLDP)
+	c.lldpBuf = frame.AppendTo(c.lldpBuf)
+	c.sendPacketOut(dpid, openflow.PortNone, []openflow.Action{openflow.Output(port)}, c.lldpBuf)
 }
 
 // BuildLLDP constructs the LLDP frame the controller would emit for the

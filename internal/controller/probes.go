@@ -19,7 +19,7 @@ const statsRequestTimeout = 5 * time.Second
 type pendingEcho struct {
 	dpid    uint64
 	sent    time.Time
-	timeout *sim.Event
+	timeout sim.Event
 	cb      func(time.Duration, bool)
 }
 
@@ -56,7 +56,7 @@ func (c *Controller) resolveEcho(xid uint32) {
 type pendingPathProbe struct {
 	dpid    uint64
 	sent    time.Time
-	timeout *sim.Event
+	timeout sim.Event
 	cb      func(time.Duration, bool)
 }
 
@@ -106,7 +106,7 @@ func (c *Controller) resolvePathProbe(eth *packet.Ethernet) {
 
 type pendingHostProbe struct {
 	dpid    uint64
-	timeout *sim.Event
+	timeout sim.Event
 	cb      func(bool)
 }
 
@@ -158,7 +158,7 @@ func (c *Controller) resolveHostProbe(ev *PacketInEvent) bool {
 
 type pendingStats struct {
 	dpid    uint64
-	timeout *sim.Event
+	timeout sim.Event
 	flowCB  func([]openflow.FlowStats)
 	portCB  func([]openflow.PortStats)
 }

@@ -218,7 +218,7 @@ type API interface {
 	// Now reports current virtual time.
 	Now() time.Time
 	// Schedule runs fn after d on the controller's kernel.
-	Schedule(d time.Duration, fn func()) *sim.Event
+	Schedule(d time.Duration, fn func()) sim.Event
 	// Rand exposes the deterministic simulation RNG.
 	Rand() *rand.Rand
 	// RaiseAlert records a security alert.

@@ -69,7 +69,7 @@ func New() *FakeAPI {
 func (f *FakeAPI) Now() time.Time { return f.Kernel.Now() }
 
 // Schedule implements controller.API.
-func (f *FakeAPI) Schedule(d time.Duration, fn func()) *sim.Event {
+func (f *FakeAPI) Schedule(d time.Duration, fn func()) sim.Event {
 	return f.Kernel.Schedule(d, fn)
 }
 

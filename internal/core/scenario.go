@@ -228,3 +228,16 @@ func FabricatedLinkFig9() controller.Link {
 		Dst: controller.PortRef{DPID: 3, Port: 1},
 	}
 }
+
+// NewFatTreeScenario builds a k-ary fat-tree data center (Al-Fares et
+// al.) under the selected defenses, with testbed-grade trunk and host
+// link latencies. It is the scale setting for benchmarking discovery,
+// reactive forwarding and defense overhead on topologies far larger than
+// the paper's four-switch testbed: k=4 yields 20 switches and 16 hosts,
+// k=8 yields 80 switches and 128 hosts.
+func NewFatTreeScenario(seed int64, k int, def Defenses, ctlOpts ...controller.Option) (*Scenario, *netsim.FatTreeTopology) {
+	s := newScenario(seed, def, ctlOpts...)
+	topo := netsim.BuildFatTree(s.Net, k, netsim.TestbedTrunkLatency(), testbedHostLink())
+	s.deploy()
+	return s, topo
+}

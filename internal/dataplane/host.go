@@ -44,7 +44,7 @@ type ProbeResult struct {
 
 type pingWaiter struct {
 	sent    time.Time
-	timeout *sim.Event
+	timeout sim.Event
 	cb      func(ProbeResult)
 }
 
@@ -79,6 +79,12 @@ type Host struct {
 
 	rxFrames uint64
 	txFrames uint64
+
+	// txBuf is the transmit scratch buffer: locally originated frames are
+	// built into it layer by layer (Ethernet header, IPv4 header, L4
+	// payload, IPv4 backpatch) with no intermediate per-layer buffers.
+	// Safe because link.Link.Send copies at ingress.
+	txBuf []byte
 
 	ipid        uint16
 	pingID      uint16
@@ -157,7 +163,25 @@ func (h *Host) RxFrames() uint64 { return h.rxFrames }
 func (h *Host) TxFrames() uint64 { return h.txFrames }
 
 // Send transmits an Ethernet frame if the interface is up.
-func (h *Host) Send(e *packet.Ethernet) { h.SendRaw(e.Marshal()) }
+func (h *Host) Send(e *packet.Ethernet) {
+	h.txBuf = e.AppendTo(h.txBuf[:0])
+	h.SendRaw(h.txBuf)
+}
+
+// beginFrame starts a frame in the transmit scratch buffer.
+func (h *Host) beginFrame(dst, src packet.MAC, typ packet.EtherType) {
+	h.txBuf = packet.AppendEthernetHeader(h.txBuf[:0], dst, src, typ)
+}
+
+// sendIPv4 appends an IPv4 packet around the given payload appender and
+// transmits the scratch frame started by beginFrame.
+func (h *Host) sendIPv4(ip *packet.IPv4, appendPayload func([]byte) []byte) {
+	ipStart := len(h.txBuf)
+	h.txBuf = ip.AppendHeaderTo(h.txBuf)
+	h.txBuf = appendPayload(h.txBuf)
+	packet.FinishIPv4(h.txBuf, ipStart)
+	h.SendRaw(h.txBuf)
+}
 
 // SendRaw transmits raw frame bytes if the interface is up. Attacks use
 // it to re-inject captured LLDP bytes unmodified.
@@ -208,7 +232,10 @@ func (h *Host) handleARP(eth *packet.Ethernet) {
 	switch arp.Op {
 	case packet.ARPRequest:
 		if arp.TargetIP == h.ip {
-			h.Send(packet.NewARPReply(h.mac, h.ip, arp.SenderHW, arp.SenderIP))
+			h.beginFrame(arp.SenderHW, h.mac, packet.EtherTypeARP)
+			reply := packet.ARP{Op: packet.ARPReply, SenderHW: h.mac, SenderIP: h.ip, TargetHW: arp.SenderHW, TargetIP: arp.SenderIP}
+			h.txBuf = reply.AppendTo(h.txBuf)
+			h.SendRaw(h.txBuf)
 		}
 	case packet.ARPReply:
 		waiters := h.arpWaiters[arp.SenderIP]
@@ -251,7 +278,7 @@ func (h *Host) handleICMP(eth *packet.Ethernet, ip *packet.IPv4) {
 	switch m.Type {
 	case packet.ICMPEchoRequest:
 		if h.RespondToPing {
-			h.Send(packet.NewICMPEcho(h.mac, eth.Src, h.ip, ip.Src, m.ID, m.Seq, true))
+			h.sendICMPEcho(eth.Src, ip.Src, m.ID, m.Seq, true)
 		}
 	case packet.ICMPEchoReply:
 		key := uint32(m.ID)<<16 | uint32(m.Seq)
@@ -304,9 +331,28 @@ func (h *Host) handleTCP(eth *packet.Ethernet, ip *packet.IPv4) {
 // counter, which increments on every TCP send as in common IP stacks.
 func (h *Host) sendTCP(dstHW packet.MAC, dstIP packet.IPv4Addr, srcPort, dstPort uint16, flags packet.TCPFlags, seq, ack uint32) {
 	h.ipid++
-	seg := &packet.TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack, Flags: flags, Window: 65535}
-	ip := &packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, ID: h.ipid, Src: h.ip, Dst: dstIP, Payload: seg.Marshal()}
-	h.Send(&packet.Ethernet{Dst: dstHW, Src: h.mac, Type: packet.EtherTypeIPv4, Payload: ip.Marshal()})
+	seg := packet.TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack, Flags: flags, Window: 65535}
+	h.sendTCPFrame(h.mac, dstHW, h.ip, dstIP, h.ipid, &seg)
+}
+
+// sendTCPFrame builds an Ethernet/IPv4/TCP frame in the transmit scratch
+// buffer and sends it.
+func (h *Host) sendTCPFrame(srcHW, dstHW packet.MAC, srcIP, dstIP packet.IPv4Addr, ipid uint16, seg *packet.TCP) {
+	h.beginFrame(dstHW, srcHW, packet.EtherTypeIPv4)
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, ID: ipid, Src: srcIP, Dst: dstIP}
+	h.sendIPv4(&ip, seg.AppendTo)
+}
+
+// sendICMPEcho builds and sends an ICMP echo request or reply.
+func (h *Host) sendICMPEcho(dstHW packet.MAC, dstIP packet.IPv4Addr, id, seq uint16, reply bool) {
+	t := packet.ICMPEchoRequest
+	if reply {
+		t = packet.ICMPEchoReply
+	}
+	h.beginFrame(dstHW, h.mac, packet.EtherTypeIPv4)
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: h.ip, Dst: dstIP}
+	m := packet.ICMP{Type: t, ID: id, Seq: seq}
+	h.sendIPv4(&ip, m.AppendTo)
 }
 
 func tcpKey(ip packet.IPv4Addr, peerPort, localPort uint16) uint64 {
@@ -326,7 +372,7 @@ func (h *Host) Ping(dstHW packet.MAC, dstIP packet.IPv4Addr, timeout time.Durati
 		cb(ProbeResult{})
 	})
 	h.pingWaiters[key] = w
-	h.Send(packet.NewICMPEcho(h.mac, dstHW, h.ip, dstIP, id, seq, false))
+	h.sendICMPEcho(dstHW, dstIP, id, seq, false)
 }
 
 // ARPPing broadcasts an ARP request for dstIP and reports via cb whether
@@ -344,7 +390,10 @@ func (h *Host) ARPPing(dstIP packet.IPv4Addr, timeout time.Duration, cb func(Pro
 		cb(ProbeResult{})
 	})
 	h.arpWaiters[dstIP] = append(h.arpWaiters[dstIP], w)
-	h.Send(packet.NewARPRequest(h.mac, h.ip, dstIP))
+	h.beginFrame(packet.BroadcastMAC, h.mac, packet.EtherTypeARP)
+	req := packet.ARP{Op: packet.ARPRequest, SenderHW: h.mac, SenderIP: h.ip, TargetIP: dstIP}
+	h.txBuf = req.AppendTo(h.txBuf)
+	h.SendRaw(h.txBuf)
 }
 
 // TCPSYNProbe sends a SYN to dstPort and reports alive if either SYN-ACK
@@ -359,22 +408,25 @@ func (h *Host) TCPSYNProbe(dstHW packet.MAC, dstIP packet.IPv4Addr, dstPort uint
 		cb(ProbeResult{})
 	})
 	h.tcpWaiters[key] = w
-	h.Send(packet.NewTCPSegment(h.mac, dstHW, h.ip, dstIP, local, dstPort, packet.TCPSyn, 1, 0, nil))
+	seg := packet.TCP{SrcPort: local, DstPort: dstPort, Seq: 1, Flags: packet.TCPSyn, Window: 65535}
+	h.sendTCPFrame(h.mac, dstHW, h.ip, dstIP, 0, &seg)
 }
 
 // SendSpoofedSYN emits a TCP SYN whose source identity (MAC and IP) is
 // forged, the trick TCP idle scans use to make a zombie appear to be the
 // scanner.
 func (h *Host) SendSpoofedSYN(srcHW packet.MAC, srcIP packet.IPv4Addr, dstHW packet.MAC, dstIP packet.IPv4Addr, srcPort, dstPort uint16) {
-	h.Send(packet.NewTCPSegment(srcHW, dstHW, srcIP, dstIP, srcPort, dstPort, packet.TCPSyn, 1, 0, nil))
+	seg := packet.TCP{SrcPort: srcPort, DstPort: dstPort, Seq: 1, Flags: packet.TCPSyn, Window: 65535}
+	h.sendTCPFrame(srcHW, dstHW, srcIP, dstIP, 0, &seg)
 }
 
 // SendUDP originates a small UDP datagram; any dataplane packet suffices
 // to trigger a Packet-In and update the controller's host tracking.
 func (h *Host) SendUDP(dstHW packet.MAC, dstIP packet.IPv4Addr, srcPort, dstPort uint16, payload []byte) {
-	u := &packet.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
-	ip := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: h.ip, Dst: dstIP, Payload: u.Marshal()}
-	h.Send(&packet.Ethernet{Dst: dstHW, Src: h.mac, Type: packet.EtherTypeIPv4, Payload: ip.Marshal()})
+	h.beginFrame(dstHW, h.mac, packet.EtherTypeIPv4)
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: h.ip, Dst: dstIP}
+	u := packet.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	h.sendIPv4(&ip, u.AppendTo)
 }
 
 // InterfaceDown administratively disables the NIC and drops carrier.

@@ -43,8 +43,8 @@ type Port struct {
 	up  bool // switch's post-detection view of link state
 	det sim.Sampler
 
-	pendingDown *sim.Event
-	pendingUp   *sim.Event
+	pendingDown sim.Event
+	pendingUp   sim.Event
 
 	rxPackets uint64
 	txPackets uint64
@@ -83,28 +83,22 @@ func (p *Port) ReceiveFrame(data []byte) {
 // is exactly the threshold the in-band attack must respect.
 func (p *Port) CarrierChange(up bool) {
 	if up {
-		if p.pendingDown != nil {
+		if p.pendingDown.Scheduled() {
 			// Carrier restored before detection: nothing ever happened.
 			p.pendingDown.Cancel()
-			p.pendingDown = nil
 			return
 		}
-		if !p.up && p.pendingUp == nil {
+		if !p.up && !p.pendingUp.Scheduled() {
 			p.pendingUp = p.sw.kernel.Schedule(linkUpDetect, func() {
-				p.pendingUp = nil
 				p.up = true
 				p.sw.sendPortStatus(p, openflow.PortReasonModify)
 			})
 		}
 		return
 	}
-	if p.pendingUp != nil {
-		p.pendingUp.Cancel()
-		p.pendingUp = nil
-	}
-	if p.up && p.pendingDown == nil {
+	p.pendingUp.Cancel()
+	if p.up && !p.pendingDown.Scheduled() {
 		p.pendingDown = p.sw.kernel.Schedule(p.det.Sample(p.sw.kernel.Rand()), func() {
-			p.pendingDown = nil
 			p.up = false
 			p.sw.sendPortStatus(p, openflow.PortReasonModify)
 		})
@@ -136,6 +130,12 @@ type Switch struct {
 	handshook   bool
 	expiry      *sim.Ticker
 	metrics     *obs.Registry
+
+	// txBuf is the control-plane transmit scratch buffer: every outgoing
+	// OpenFlow message is marshaled into it in place, so steady-state
+	// control traffic does not allocate per message. Safe because the
+	// sender contract (SetControlSender) forbids retaining the buffer.
+	txBuf []byte
 }
 
 // SwitchOption configures a Switch.
@@ -206,15 +206,25 @@ func (s *Switch) AddPort(no uint32, l *link.Link, end link.End, detect sim.Sampl
 func (s *Switch) Port(no uint32) *Port { return s.ports[no] }
 
 // SetControlSender wires the switch's upstream control-plane transmit
-// function (typically a link.Channel end).
+// function (typically a link.Channel end). fn must not retain the byte
+// slice past the call: the switch marshals every message into one reused
+// scratch buffer. Channel ends satisfy this (Channel.Send copies at
+// ingress), as do senders that decode or copy synchronously.
 func (s *Switch) SetControlSender(fn func([]byte)) { s.sendControl = fn }
+
+// sendMarshaled marshals m into the transmit scratch buffer and hands it
+// to the control sender.
+func (s *Switch) sendMarshaled(xid uint32, m openflow.Message) {
+	s.txBuf = openflow.AppendMarshal(s.txBuf[:0], xid, m)
+	s.sendControl(s.txBuf)
+}
 
 func (s *Switch) toController(m openflow.Message) {
 	if s.sendControl == nil {
 		return
 	}
 	s.xid++
-	s.sendControl(openflow.Marshal(s.xid, m))
+	s.sendMarshaled(s.xid, m)
 }
 
 func (s *Switch) sendPortStatus(p *Port, reason uint8) {
@@ -291,7 +301,7 @@ func (s *Switch) HandleControl(data []byte) {
 		s.toController(s.featuresReply())
 	case *openflow.EchoRequest:
 		if s.sendControl != nil {
-			s.sendControl(openflow.Marshal(xid, &openflow.EchoReply{Data: msg.Data}))
+			s.sendMarshaled(xid, &openflow.EchoReply{Data: msg.Data})
 		}
 	case *openflow.PacketOut:
 		s.execute(msg.Actions, msg.InPort, msg.Data)
@@ -299,11 +309,11 @@ func (s *Switch) HandleControl(data []byte) {
 		s.table.Apply(msg, s.kernel.Now())
 	case *openflow.BarrierRequest:
 		if s.sendControl != nil {
-			s.sendControl(openflow.Marshal(xid, &openflow.BarrierReply{}))
+			s.sendMarshaled(xid, &openflow.BarrierReply{})
 		}
 	case *openflow.StatsRequest:
 		if s.sendControl != nil {
-			s.sendControl(openflow.Marshal(xid, s.statsReply(msg)))
+			s.sendMarshaled(xid, s.statsReply(msg))
 		}
 	}
 }

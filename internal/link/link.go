@@ -40,6 +40,37 @@ func (e End) other() End {
 	return EndA
 }
 
+// Buffer ownership contract for Link.Send and Channel.Send: the link
+// copies data at send time, so the CALLER may reuse its buffer as soon as
+// Send returns (hot senders build frames in a per-component scratch
+// buffer). The RECEIVER owns the delivered copy outright and may retain
+// it indefinitely — attack taps and PacketIn bodies do — which is why
+// delivery buffers are freshly allocated per send and never pooled. Only
+// the in-flight delivery bookkeeping structs are recycled, through
+// per-link free lists (links are single-kernel, so no locking).
+
+// frameDelivery is the in-flight state of one Link.Send, pooled on the
+// owning link so steady-state forwarding does not allocate it per frame.
+type frameDelivery struct {
+	l    *Link
+	from End
+	buf  []byte
+}
+
+// deliverFrame completes a frame traversal. It is a package-level func so
+// scheduling it via sim.ScheduleArg captures no closure; the delivery
+// struct is recycled before ReceiveFrame runs so a synchronous re-send
+// from the receiver can reuse it.
+func deliverFrame(arg any) {
+	d := arg.(*frameDelivery)
+	l, from, buf := d.l, d.from, d.buf
+	d.l, d.buf = nil, nil
+	l.free = append(l.free, d)
+	if peer := l.peer(from); peer != nil && l.carrier(from.other()) && l.carrier(from) {
+		peer.ReceiveFrame(buf)
+	}
+}
+
 // Link is a full-duplex point-to-point dataplane link.
 type Link struct {
 	kernel   *sim.Kernel
@@ -49,6 +80,7 @@ type Link struct {
 	upA      bool
 	upB      bool
 	dropped  uint64
+	free     []*frameDelivery
 }
 
 // NewLink creates a link whose per-frame one-way delay is drawn from
@@ -124,7 +156,8 @@ func (l *Link) SetLatency(s sim.Sampler) {
 // the peer after the link's sampled latency. Frames are dropped (as on a
 // real wire) if either transceiver is down at send time, if the
 // receiving side's transceiver is down at delivery time, or by injected
-// random loss.
+// random loss. data is copied; the caller may reuse its buffer once Send
+// returns, and the peer owns the delivered copy.
 func (l *Link) Send(from End, data []byte) {
 	if !l.upA || !l.upB {
 		return
@@ -133,14 +166,17 @@ func (l *Link) Send(from End, data []byte) {
 		l.dropped++
 		return
 	}
-	peerEnd := from.other()
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	l.kernel.Schedule(l.latency.Sample(l.kernel.Rand()), func() {
-		if peer := l.peer(from); peer != nil && l.carrier(peerEnd) && l.carrier(from) {
-			peer.ReceiveFrame(buf)
-		}
-	})
+	var d *frameDelivery
+	if n := len(l.free); n > 0 {
+		d = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		d = &frameDelivery{}
+	}
+	d.l, d.from, d.buf = l, from, buf
+	l.kernel.ScheduleArg(l.latency.Sample(l.kernel.Rand()), deliverFrame, d)
 }
 
 // SetCarrier raises or lowers the transceiver on one end (a host bringing
@@ -200,6 +236,32 @@ type Channel struct {
 	dropped  uint64
 	onA      func([]byte)
 	onB      func([]byte)
+	free     []*msgDelivery
+}
+
+// msgDelivery is the pooled in-flight state of one Channel.Send.
+type msgDelivery struct {
+	c    *Channel
+	from End
+	buf  []byte
+}
+
+// deliverMsg completes a channel send; like deliverFrame it recycles the
+// delivery struct before invoking the handler.
+func deliverMsg(arg any) {
+	d := arg.(*msgDelivery)
+	c, from, buf := d.c, d.from, d.buf
+	d.c, d.buf = nil, nil
+	c.free = append(c.free, d)
+	var fn func([]byte)
+	if from == EndA {
+		fn = c.onB
+	} else {
+		fn = c.onA
+	}
+	if fn != nil {
+		fn(buf)
+	}
 }
 
 // NewChannel creates a bidirectional message pipe with the given one-way
@@ -253,6 +315,8 @@ func (c *Channel) SetLatency(s sim.Sampler) {
 
 // Send delivers a message to the other end after the channel latency.
 // Messages sent before the receiving handler is registered are dropped.
+// data is copied; the caller may reuse its buffer once Send returns, and
+// the receiving handler owns the delivered copy.
 func (c *Channel) Send(from End, data []byte) {
 	if c.lossRate > 0 && c.kernel.Rand().Float64() < c.lossRate {
 		c.dropped++
@@ -260,17 +324,15 @@ func (c *Channel) Send(from End, data []byte) {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	c.kernel.Schedule(c.latency.Sample(c.kernel.Rand()), func() {
-		var fn func([]byte)
-		if from == EndA {
-			fn = c.onB
-		} else {
-			fn = c.onA
-		}
-		if fn != nil {
-			fn(buf)
-		}
-	})
+	var d *msgDelivery
+	if n := len(c.free); n > 0 {
+		d = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		d = &msgDelivery{}
+	}
+	d.c, d.from, d.buf = c, from, buf
+	c.kernel.ScheduleArg(c.latency.Sample(c.kernel.Rand()), deliverMsg, d)
 }
 
 // SendAfter behaves like Send with an extra fixed delay prepended, used to

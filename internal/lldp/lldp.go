@@ -69,31 +69,53 @@ func putTLV(buf []byte, typ uint8, value []byte) []byte {
 }
 
 // Marshal encodes the frame into LLDP TLV wire bytes.
-func (f *Frame) Marshal() []byte {
-	var buf []byte
-	chassis := make([]byte, 9)
-	chassis[0] = 7 // chassis ID subtype: locally assigned
-	binary.BigEndian.PutUint64(chassis[1:], f.ChassisID)
-	buf = putTLV(buf, tlvChassisID, chassis)
+func (f *Frame) Marshal() []byte { return f.AppendTo(make([]byte, 0, f.wireLen())) }
 
-	port := make([]byte, 5)
-	port[0] = 7 // port ID subtype: locally assigned
-	binary.BigEndian.PutUint32(port[1:], f.PortID)
-	buf = putTLV(buf, tlvPortID, port)
-
-	ttl := make([]byte, 2)
-	binary.BigEndian.PutUint16(ttl, f.TTLSecs)
-	buf = putTLV(buf, tlvTTL, ttl)
-
+// wireLen is the exact encoded size of the frame.
+func (f *Frame) wireLen() int {
+	n := (2 + 9) + (2 + 5) + (2 + 2) + 2 // chassis, port, TTL, end
 	if f.Auth != nil {
-		v := append(append([]byte{}, oui[:]...), orgSubtypeAuth)
-		buf = putTLV(buf, tlvOrgSpecific, append(v, f.Auth...))
+		n += 2 + 4 + len(f.Auth)
 	}
 	if f.Timestamp != nil {
-		v := append(append([]byte{}, oui[:]...), orgSubtypeTimestamp)
-		buf = putTLV(buf, tlvOrgSpecific, append(v, f.Timestamp...))
+		n += 2 + 4 + len(f.Timestamp)
 	}
-	return putTLV(buf, tlvEnd, nil)
+	return n
+}
+
+// AppendTo appends the frame's TLV wire encoding to buf. Unlike the old
+// per-TLV construction it builds every TLV in place — no temporary value
+// slices — so probe emission from a reused scratch buffer is
+// allocation-free.
+func (f *Frame) AppendTo(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(tlvChassisID)<<9|9)
+	buf = append(buf, 7) // chassis ID subtype: locally assigned
+	buf = binary.BigEndian.AppendUint64(buf, f.ChassisID)
+
+	buf = binary.BigEndian.AppendUint16(buf, uint16(tlvPortID)<<9|5)
+	buf = append(buf, 7) // port ID subtype: locally assigned
+	buf = binary.BigEndian.AppendUint32(buf, f.PortID)
+
+	buf = binary.BigEndian.AppendUint16(buf, uint16(tlvTTL)<<9|2)
+	buf = binary.BigEndian.AppendUint16(buf, f.TTLSecs)
+
+	if f.Auth != nil {
+		buf = appendOrgTLV(buf, orgSubtypeAuth, f.Auth)
+	}
+	if f.Timestamp != nil {
+		buf = appendOrgTLV(buf, orgSubtypeTimestamp, f.Timestamp)
+	}
+	return binary.BigEndian.AppendUint16(buf, uint16(tlvEnd)<<9)
+}
+
+// appendOrgTLV appends one organizationally-specific TLV under the
+// controller's private OUI.
+func appendOrgTLV(buf []byte, subtype uint8, data []byte) []byte {
+	header := uint16(tlvOrgSpecific)<<9 | uint16(4+len(data))&0x1ff
+	buf = binary.BigEndian.AppendUint16(buf, header)
+	buf = append(buf, oui[:]...)
+	buf = append(buf, subtype)
+	return append(buf, data...)
 }
 
 // Unmarshal decodes LLDP TLV wire bytes.

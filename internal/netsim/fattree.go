@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"fmt"
+
+	"sdntamper/internal/sim"
+)
+
+// FatTreeTopology records the identity of everything a BuildFatTree call
+// created, so experiments can pick probe endpoints and defenses can be
+// pointed at specific tiers without re-deriving the addressing scheme.
+type FatTreeTopology struct {
+	K         int
+	CoreDPIDs []uint64
+	AggDPIDs  []uint64
+	EdgeDPIDs []uint64
+	HostNames []string
+}
+
+// Switches reports the total switch count: (k/2)² core + k²/2 agg + k²/2
+// edge, i.e. 20 for k=4 and 80 for k=8.
+func (t *FatTreeTopology) Switches() int {
+	return len(t.CoreDPIDs) + len(t.AggDPIDs) + len(t.EdgeDPIDs)
+}
+
+// Hosts reports the host count, k³/4.
+func (t *FatTreeTopology) Hosts() int { return len(t.HostNames) }
+
+// Fat-tree datapath-id tiers. Within a tier the low bits encode position:
+// cores are numbered flat; aggregation and edge switches pack (pod,index)
+// as pod*16+index, which is collision-free for every supported k.
+const (
+	fatTreeCoreBase = 0x100
+	fatTreeAggBase  = 0x200
+	fatTreeEdgeBase = 0x300
+)
+
+// BuildFatTree assembles a k-ary fat-tree (Al-Fares et al.) on the
+// network: (k/2)² core switches, k pods of k/2 aggregation and k/2 edge
+// switches, and k/2 hosts per edge switch. k must be even, between 2 and
+// 16. Trunks use trunkLatency (nil for the testbed default) and host
+// access links hostLatency (nil for zero).
+//
+// Addressing, designed to be stable across runs and easy to read in
+// alerts: core c is DPID 0x100+c; aggregation switch a of pod p is
+// 0x200+p*16+a; edge switch e of pod p is 0x300+p*16+e. Edge ports
+// 1..k/2 face hosts and k/2+1+a uplinks to aggregation a; aggregation
+// port 1+e goes down to edge e and k/2+1+j uplinks to core a*(k/2)+j;
+// core port 1+p goes down to pod p. Host h of edge e in pod p is named
+// "p%d-e%d-h%d" with IP 10.p.e.(2+h).
+func BuildFatTree(n *Network, k int, trunkLatency, hostLatency sim.Sampler) *FatTreeTopology {
+	if k < 2 || k > 16 || k%2 != 0 {
+		panic(fmt.Sprintf("netsim: fat-tree arity %d not an even number in [2,16]", k))
+	}
+	half := k / 2
+	topo := &FatTreeTopology{K: k}
+
+	for c := 0; c < half*half; c++ {
+		dpid := uint64(fatTreeCoreBase + c)
+		n.AddSwitch(dpid, nil)
+		topo.CoreDPIDs = append(topo.CoreDPIDs, dpid)
+	}
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			dpid := uint64(fatTreeAggBase + pod*16 + a)
+			n.AddSwitch(dpid, nil)
+			topo.AggDPIDs = append(topo.AggDPIDs, dpid)
+		}
+		for e := 0; e < half; e++ {
+			dpid := uint64(fatTreeEdgeBase + pod*16 + e)
+			n.AddSwitch(dpid, nil)
+			topo.EdgeDPIDs = append(topo.EdgeDPIDs, dpid)
+		}
+	}
+
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			edge := uint64(fatTreeEdgeBase + pod*16 + e)
+			for h := 0; h < half; h++ {
+				name := fmt.Sprintf("p%d-e%d-h%d", pod, e, h)
+				mac := fmt.Sprintf("02:00:%02x:%02x:%02x:01", pod, e, h)
+				ip := fmt.Sprintf("10.%d.%d.%d", pod, e, 2+h)
+				n.AddHost(name, mac, ip, edge, uint32(1+h), hostLatency)
+				topo.HostNames = append(topo.HostNames, name)
+			}
+			for a := 0; a < half; a++ {
+				agg := uint64(fatTreeAggBase + pod*16 + a)
+				n.AddTrunk(edge, uint32(half+1+a), agg, uint32(1+e), trunkLatency)
+			}
+		}
+		for a := 0; a < half; a++ {
+			agg := uint64(fatTreeAggBase + pod*16 + a)
+			for j := 0; j < half; j++ {
+				core := uint64(fatTreeCoreBase + a*half + j)
+				n.AddTrunk(agg, uint32(half+1+j), core, uint32(1+pod), trunkLatency)
+			}
+		}
+	}
+	return topo
+}

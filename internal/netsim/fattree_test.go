@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/sim"
+)
+
+func TestFatTreeCounts(t *testing.T) {
+	cases := []struct {
+		k, switches, hosts, trunks int
+	}{
+		{2, 5, 2, 4},
+		{4, 20, 16, 32},
+		{8, 80, 128, 256},
+	}
+	for _, tc := range cases {
+		n := New(1)
+		topo := BuildFatTree(n, tc.k, sim.Const(time.Millisecond), nil)
+		if got := topo.Switches(); got != tc.switches {
+			t.Errorf("k=%d: %d switches, want %d", tc.k, got, tc.switches)
+		}
+		if got := topo.Hosts(); got != tc.hosts {
+			t.Errorf("k=%d: %d hosts, want %d", tc.k, got, tc.hosts)
+		}
+		if got := len(n.Trunks()); got != tc.trunks {
+			t.Errorf("k=%d: %d trunks, want %d", tc.k, got, tc.trunks)
+		}
+	}
+}
+
+func TestFatTreeRejectsBadArity(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 7, 18} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			BuildFatTree(New(1), k, nil, nil)
+		}()
+	}
+}
+
+func TestFatTreeDiscoveryAndReachability(t *testing.T) {
+	n := New(7)
+	BuildFatTree(n, 4, sim.Const(time.Millisecond), nil)
+	if err := n.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Every trunk should be discovered in both directions.
+	if got, want := len(n.Controller.Links()), 2*len(n.Trunks()); got != want {
+		t.Fatalf("discovered %d directed links, want %d", got, want)
+	}
+	// A cross-pod ARP ping resolves once reactive forwarding learns paths.
+	a, b := n.Host("p0-e0-h0"), n.Host("p3-e1-h1")
+	var got dataplane.ProbeResult
+	a.ARPPing(b.IP(), 5*time.Second, func(r dataplane.ProbeResult) { got = r })
+	if err := n.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Alive {
+		t.Fatal("cross-pod ARP ping did not resolve")
+	}
+	if got.MAC != b.MAC() {
+		t.Fatalf("ARP resolved to %v, want %v", got.MAC, b.MAC())
+	}
+	n.Shutdown()
+}

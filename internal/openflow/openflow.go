@@ -123,12 +123,23 @@ type Message interface {
 
 // Marshal encodes a message (header + body) into wire bytes.
 func Marshal(xid uint32, m Message) []byte {
-	buf := make([]byte, headerLen, headerLen+64)
+	return AppendMarshal(make([]byte, 0, headerLen+64), xid, m)
+}
+
+// AppendMarshal appends a message's wire encoding (header + body) to buf
+// and returns the extended slice. Hot control-path senders call it with a
+// reused scratch buffer so marshaling a message does not allocate; the
+// send contract (see dataplane.SetControlSender and controller.Conn)
+// requires receivers not to retain the buffer past the call.
+func AppendMarshal(buf []byte, xid uint32, m Message) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
 	buf = m.encodeBody(buf)
-	buf[0] = Version
-	buf[1] = byte(m.MessageType())
-	binary.BigEndian.PutUint16(buf[2:4], uint16(len(buf)))
-	binary.BigEndian.PutUint32(buf[4:8], xid)
+	hdr := buf[start:]
+	hdr[0] = Version
+	hdr[1] = byte(m.MessageType())
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(len(buf)-start))
+	binary.BigEndian.PutUint32(hdr[4:8], xid)
 	return buf
 }
 

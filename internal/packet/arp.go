@@ -23,18 +23,18 @@ type ARP struct {
 }
 
 // Marshal encodes the packet into wire bytes.
-func (a *ARP) Marshal() []byte {
-	buf := make([]byte, arpLen)
-	binary.BigEndian.PutUint16(buf[0:2], 1)      // hardware type: Ethernet
-	binary.BigEndian.PutUint16(buf[2:4], 0x0800) // protocol type: IPv4
-	buf[4] = 6                                   // hardware size
-	buf[5] = 4                                   // protocol size
-	binary.BigEndian.PutUint16(buf[6:8], a.Op)
-	copy(buf[8:14], a.SenderHW[:])
-	copy(buf[14:18], a.SenderIP[:])
-	copy(buf[18:24], a.TargetHW[:])
-	copy(buf[24:28], a.TargetIP[:])
-	return buf
+func (a *ARP) Marshal() []byte { return a.AppendTo(make([]byte, 0, arpLen)) }
+
+// AppendTo appends the packet's wire encoding to buf.
+func (a *ARP) AppendTo(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, 1)      // hardware type: Ethernet
+	buf = binary.BigEndian.AppendUint16(buf, 0x0800) // protocol type: IPv4
+	buf = append(buf, 6, 4)                          // hardware size, protocol size
+	buf = binary.BigEndian.AppendUint16(buf, a.Op)
+	buf = append(buf, a.SenderHW[:]...)
+	buf = append(buf, a.SenderIP[:]...)
+	buf = append(buf, a.TargetHW[:]...)
+	return append(buf, a.TargetIP[:]...)
 }
 
 // UnmarshalARP decodes wire bytes into an ARP packet.

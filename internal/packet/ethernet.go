@@ -45,12 +45,26 @@ type Ethernet struct {
 
 // Marshal encodes the frame into wire bytes.
 func (e *Ethernet) Marshal() []byte {
-	buf := make([]byte, ethernetHeaderLen+len(e.Payload))
-	copy(buf[0:6], e.Dst[:])
-	copy(buf[6:12], e.Src[:])
-	binary.BigEndian.PutUint16(buf[12:14], uint16(e.Type))
-	copy(buf[ethernetHeaderLen:], e.Payload)
-	return buf
+	return e.AppendTo(make([]byte, 0, ethernetHeaderLen+len(e.Payload)))
+}
+
+// AppendTo appends the frame's wire encoding to buf and returns the
+// extended slice. Hot send paths call it with the zero-length prefix of a
+// reused scratch buffer; see the buffer-ownership contract in package
+// link (senders may reuse buffers after Send returns).
+func (e *Ethernet) AppendTo(buf []byte) []byte {
+	buf = append(buf, e.Dst[:]...)
+	buf = append(buf, e.Src[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(e.Type))
+	return append(buf, e.Payload...)
+}
+
+// AppendEthernetHeader appends just the 14-byte Ethernet II header, for
+// callers that build the payload in place directly after it.
+func AppendEthernetHeader(buf []byte, dst, src MAC, typ EtherType) []byte {
+	buf = append(buf, dst[:]...)
+	buf = append(buf, src[:]...)
+	return binary.BigEndian.AppendUint16(buf, uint16(typ))
 }
 
 // UnmarshalEthernet decodes wire bytes into a frame. The payload slice is

@@ -24,13 +24,19 @@ type ICMP struct {
 
 // Marshal encodes the message, computing its checksum.
 func (m *ICMP) Marshal() []byte {
-	buf := make([]byte, icmpHeaderLen+len(m.Payload))
-	buf[0] = m.Type
-	buf[1] = m.Code
-	binary.BigEndian.PutUint16(buf[4:6], m.ID)
-	binary.BigEndian.PutUint16(buf[6:8], m.Seq)
-	copy(buf[icmpHeaderLen:], m.Payload)
-	binary.BigEndian.PutUint16(buf[2:4], internetChecksum(buf))
+	return m.AppendTo(make([]byte, 0, icmpHeaderLen+len(m.Payload)))
+}
+
+// AppendTo appends the message's wire encoding to buf. The checksum
+// covers only the appended region, so the message can be built in place
+// inside an enclosing IPv4 packet.
+func (m *ICMP) AppendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, m.Type, m.Code, 0, 0) // checksum patched below
+	buf = binary.BigEndian.AppendUint16(buf, m.ID)
+	buf = binary.BigEndian.AppendUint16(buf, m.Seq)
+	buf = append(buf, m.Payload...)
+	binary.BigEndian.PutUint16(buf[start+2:start+4], internetChecksum(buf[start:]))
 	return buf
 }
 

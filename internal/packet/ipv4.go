@@ -41,17 +41,38 @@ func internetChecksum(b []byte) uint16 {
 
 // Marshal encodes the packet, computing the header checksum.
 func (p *IPv4) Marshal() []byte {
-	buf := make([]byte, ipv4HeaderLen+len(p.Payload))
-	buf[0] = 0x45 // version 4, IHL 5
-	binary.BigEndian.PutUint16(buf[2:4], uint16(ipv4HeaderLen+len(p.Payload)))
-	binary.BigEndian.PutUint16(buf[4:6], p.ID)
-	buf[8] = p.TTL
-	buf[9] = p.Protocol
-	copy(buf[12:16], p.Src[:])
-	copy(buf[16:20], p.Dst[:])
-	binary.BigEndian.PutUint16(buf[10:12], internetChecksum(buf[:ipv4HeaderLen]))
-	copy(buf[ipv4HeaderLen:], p.Payload)
+	return p.AppendTo(make([]byte, 0, ipv4HeaderLen+len(p.Payload)))
+}
+
+// AppendTo appends the packet's wire encoding (header + Payload) to buf.
+func (p *IPv4) AppendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = p.AppendHeaderTo(buf)
+	buf = append(buf, p.Payload...)
+	FinishIPv4(buf, start)
 	return buf
+}
+
+// AppendHeaderTo appends the 20-byte header with zero total-length and
+// checksum fields and ignores Payload. Callers append the upper-layer
+// payload in place directly after it and then call FinishIPv4, so a
+// nested frame is built with no intermediate per-layer buffers.
+func (p *IPv4) AppendHeaderTo(buf []byte) []byte {
+	buf = append(buf, 0x45, 0, 0, 0) // version 4 IHL 5, ToS, total length (patched later)
+	buf = binary.BigEndian.AppendUint16(buf, p.ID)
+	buf = append(buf, 0, 0, p.TTL, p.Protocol, 0, 0) // flags/frag, TTL, proto, checksum (patched later)
+	buf = append(buf, p.Src[:]...)
+	return append(buf, p.Dst[:]...)
+}
+
+// FinishIPv4 backpatches the total length and header checksum of an IPv4
+// header previously appended at offset ipStart, once everything from the
+// header to the end of buf is the packet.
+func FinishIPv4(buf []byte, ipStart int) {
+	pkt := buf[ipStart:]
+	binary.BigEndian.PutUint16(pkt[2:4], uint16(len(pkt)))
+	pkt[10], pkt[11] = 0, 0
+	binary.BigEndian.PutUint16(pkt[10:12], internetChecksum(pkt[:ipv4HeaderLen]))
 }
 
 // UnmarshalIPv4 decodes wire bytes, verifying version and checksum.

@@ -62,16 +62,22 @@ type TCP struct {
 // segment alone (the simulation does not need the IPv4 pseudo-header to
 // detect corruption, and omitting it keeps the codec layering clean).
 func (t *TCP) Marshal() []byte {
-	buf := make([]byte, tcpHeaderLen+len(t.Payload))
-	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
-	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
-	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
-	binary.BigEndian.PutUint32(buf[8:12], t.Ack)
-	buf[12] = 5 << 4 // data offset: 5 words
-	buf[13] = byte(t.Flags)
-	binary.BigEndian.PutUint16(buf[14:16], t.Window)
-	copy(buf[tcpHeaderLen:], t.Payload)
-	binary.BigEndian.PutUint16(buf[16:18], internetChecksum(buf))
+	return t.AppendTo(make([]byte, 0, tcpHeaderLen+len(t.Payload)))
+}
+
+// AppendTo appends the segment's wire encoding to buf; like Marshal, the
+// checksum covers only the appended region.
+func (t *TCP) AppendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, t.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, t.DstPort)
+	buf = binary.BigEndian.AppendUint32(buf, t.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, t.Ack)
+	buf = append(buf, 5<<4, byte(t.Flags)) // data offset: 5 words
+	buf = binary.BigEndian.AppendUint16(buf, t.Window)
+	buf = append(buf, 0, 0, 0, 0) // checksum (patched below), urgent pointer
+	buf = append(buf, t.Payload...)
+	binary.BigEndian.PutUint16(buf[start+16:start+18], internetChecksum(buf[start:]))
 	return buf
 }
 
@@ -122,12 +128,18 @@ type UDP struct {
 
 // Marshal encodes the datagram.
 func (u *UDP) Marshal() []byte {
-	buf := make([]byte, udpHeaderLen+len(u.Payload))
-	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
-	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
-	binary.BigEndian.PutUint16(buf[4:6], uint16(udpHeaderLen+len(u.Payload)))
-	copy(buf[udpHeaderLen:], u.Payload)
-	binary.BigEndian.PutUint16(buf[6:8], internetChecksum(buf))
+	return u.AppendTo(make([]byte, 0, udpHeaderLen+len(u.Payload)))
+}
+
+// AppendTo appends the datagram's wire encoding to buf.
+func (u *UDP) AppendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, u.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, u.DstPort)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(udpHeaderLen+len(u.Payload)))
+	buf = append(buf, 0, 0) // checksum patched below
+	buf = append(buf, u.Payload...)
+	binary.BigEndian.PutUint16(buf[start+6:start+8], internetChecksum(buf[start:]))
 	return buf
 }
 

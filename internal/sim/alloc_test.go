@@ -1,0 +1,57 @@
+//go:build !race
+
+// Steady-state allocation assertions. These are excluded under the race
+// detector, whose instrumentation adds allocations that are not present
+// in normal builds; the CI benchmark smoke job enforces the same bounds
+// via -benchmem on a non-race build.
+
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleFireZeroAlloc: once the free list is warm, a
+// schedule-then-fire cycle must not allocate.
+func TestScheduleFireZeroAlloc(t *testing.T) {
+	k := New()
+	var fn func()
+	fn = func() {} // pre-bound so the closure is not re-created per event
+	// Warm the slot free list and heap capacity.
+	for i := 0; i < 100; i++ {
+		k.Schedule(time.Microsecond, fn)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(time.Microsecond, fn)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCancelRescheduleZeroAlloc: the cancel/rearm pattern (timeout
+// management) must also be allocation-free in steady state.
+func TestCancelRescheduleZeroAlloc(t *testing.T) {
+	k := New()
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		k.Schedule(time.Microsecond, fn)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e := k.Schedule(time.Millisecond, fn)
+		e.Cancel()
+		k.Schedule(time.Microsecond, fn)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("cancel+reschedule allocates %.1f objects/op, want 0", allocs)
+	}
+}

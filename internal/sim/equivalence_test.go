@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -75,6 +76,134 @@ func TestStepAndRunUntilEquivalent(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveEvent / naiveKernel are a deliberately simple reference
+// implementation of the kernel's contract: a flat slice scanned linearly
+// for the minimum (time, seq) key, with eager cancellation. The property
+// test below pins the optimized kernel's firing order against it.
+type naiveEvent struct {
+	at       time.Duration // offset from epoch
+	seq      uint64
+	id       int
+	canceled bool
+}
+
+type naiveKernel struct {
+	now    time.Duration
+	seq    uint64
+	events []*naiveEvent
+}
+
+func (n *naiveKernel) schedule(d time.Duration, id int) *naiveEvent {
+	if d < 0 {
+		d = 0
+	}
+	e := &naiveEvent{at: n.now + d, seq: n.seq, id: id}
+	n.seq++
+	n.events = append(n.events, e)
+	return e
+}
+
+// run fires events in (time, seq) order, invoking visit for each, until
+// none remain.
+func (n *naiveKernel) run(visit func(id int)) {
+	for {
+		best := -1
+		for i, e := range n.events {
+			if e.canceled {
+				continue
+			}
+			if best < 0 || e.at < n.events[best].at ||
+				(e.at == n.events[best].at && e.seq < n.events[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		e := n.events[best]
+		n.events = append(n.events[:best], n.events[best+1:]...)
+		n.now = e.at
+		visit(e.id)
+	}
+}
+
+// TestFiringOrderMatchesNaiveReference drives the optimized kernel and the
+// naive reference through an identical randomized schedule/cancel/
+// reschedule workload — including heavy cancellation that triggers heap
+// compaction and free-list reuse — and requires byte-identical firing
+// traces (event id and firing time).
+func TestFiringOrderMatchesNaiveReference(t *testing.T) {
+	type firing struct {
+		id int
+		at time.Duration
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		ref := &naiveKernel{}
+
+		var gotK, gotRef []firing
+		var kHandles []Event
+		var refHandles []*naiveEvent
+		nextID := 0
+
+		// Each root event randomly schedules children and cancels earlier
+		// events, exercising reschedule-at-same-instant and mass-cancel.
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			id := nextID
+			nextID++
+			// Duplicate delays on purpose: seq must break the ties.
+			d := time.Duration(rng.Intn(5)) * time.Millisecond
+			kHandles = append(kHandles, k.Schedule(d, func() {
+				gotK = append(gotK, firing{id, k.Elapsed()})
+			}))
+			refHandles = append(refHandles, ref.schedule(d, id))
+			if depth > 0 && rng.Intn(2) == 0 {
+				spawn(depth - 1)
+			}
+		}
+		for i := 0; i < 150; i++ {
+			spawn(2)
+			// Cancel a random earlier event in both kernels (repeated
+			// cancels of the same handle included).
+			if len(kHandles) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(kHandles))
+				kHandles[j].Cancel()
+				refHandles[j].canceled = true
+			}
+		}
+		// Mass-cancel a stride of the schedule, enough to push the kernel
+		// past its compaction threshold (a chaos flap storm in miniature).
+		for j := 1; j < len(kHandles); j += 2 {
+			kHandles[j].Cancel()
+			refHandles[j].canceled = true
+		}
+		if err := k.Run(); err != nil {
+			t.Error(err)
+			return false
+		}
+		ref.run(func(id int) {
+			gotRef = append(gotRef, firing{id, ref.now})
+		})
+		if len(gotK) != len(gotRef) {
+			t.Errorf("seed %d: fired %d vs reference %d", seed, len(gotK), len(gotRef))
+			return false
+		}
+		for i := range gotK {
+			if gotK[i] != gotRef[i] {
+				t.Errorf("seed %d: firing %d diverges: kernel %+v, reference %+v",
+					seed, i, gotK[i], gotRef[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCancelThenRescheduleSameInstant: canceling a timeout and immediately
+// rescheduling work at the same virtual instant (the pending-probe rearm
+// pattern) must fire only the replacement, in scheduling order among its
+// same-instant peers.
+func TestCancelThenRescheduleSameInstant(t *testing.T) {
+	k := New()
+	var got []int
+	k.Schedule(5*time.Millisecond, func() { got = append(got, 1) })
+	e := k.Schedule(5*time.Millisecond, func() { got = append(got, 2) })
+	e.Cancel()
+	k.Schedule(5*time.Millisecond, func() { got = append(got, 3) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("fired %v, want [1 3]", got)
+	}
+}
+
+// TestCompactionPreservesOrder cancels enough events to trigger heap
+// compaction and checks the survivors still fire in exact (time, seq)
+// order. The cancellation pattern leaves survivors interleaved with
+// canceled slots throughout the heap.
+func TestCompactionPreservesOrder(t *testing.T) {
+	k := New()
+	const n = 4 * compactMin
+	events := make([]Event, n)
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		// Many duplicate instants so seq is load-bearing for the order.
+		d := time.Duration(i%7) * time.Millisecond
+		events[i] = k.Schedule(d, func() { got = append(got, i) })
+	}
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			events[i].Cancel()
+		}
+	}
+	if k.Pending() >= n {
+		t.Fatalf("compaction did not run: %d events resident", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var want []int
+	for ms := 0; ms < 7; ms++ {
+		for i := 0; i < n; i++ {
+			if i%3 == 0 && i%7 == ms {
+				want = append(want, i)
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverges at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResetRetainsCapacityNotState: a Reset kernel behaves like a fresh
+// one (clock, seq, executed, RNG) but keeps its grown queue capacity, and
+// handles from before the Reset are inert.
+func TestResetRetainsCapacityNotState(t *testing.T) {
+	k := New(WithSeed(7))
+	draws := func() (a, b float64) { return k.Rand().Float64(), k.Rand().Float64() }
+	d1, d2 := draws()
+	var stale Event
+	for i := 0; i < 1000; i++ {
+		stale = k.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := k.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	capBefore := cap(k.heap)
+
+	k.Reset()
+	if k.Pending() != 0 || k.Executed() != 0 || k.Elapsed() != 0 {
+		t.Fatalf("state survived Reset: pending=%d executed=%d elapsed=%v",
+			k.Pending(), k.Executed(), k.Elapsed())
+	}
+	if cap(k.heap) != capBefore {
+		t.Fatalf("heap capacity not retained: %d, was %d", cap(k.heap), capBefore)
+	}
+	if r1, r2 := draws(); r1 != d1 || r2 != d2 {
+		t.Fatal("RNG not reseeded to the configured seed")
+	}
+	// Events discarded by Reset must not fire, and their handles must not
+	// cancel post-Reset occupants of the recycled slots.
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		k.Schedule(time.Millisecond, func() { fired++ })
+	}
+	stale.Cancel()
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired != 1000 {
+		t.Fatalf("fired %d of 1000 post-Reset events", fired)
+	}
+	if k.Elapsed() != time.Millisecond {
+		t.Fatalf("post-Reset clock = %v", k.Elapsed())
+	}
+	if k.seq != 1000 {
+		t.Fatalf("post-Reset seq = %d, want 1000", k.seq)
+	}
+}
+
+// TestScheduleArg: the closure-free scheduling variant fires with its
+// argument and honors cancellation like Schedule.
+func TestScheduleArg(t *testing.T) {
+	k := New()
+	var got []int
+	record := func(x any) { got = append(got, *x.(*int)) }
+	a, b := 1, 2
+	k.ScheduleArg(time.Millisecond, record, &a)
+	e := k.ScheduleArg(time.Millisecond, record, &b)
+	e.Cancel()
+	k.ScheduleArg(-time.Second, record, &b) // negative delay clamps to now
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("got %v, want [2 1]", got)
+	}
+}
+
+// TestTickerAcrossReset: a ticker armed before Reset must stay silent
+// afterwards (its pending event was discarded).
+func TestTickerAcrossReset(t *testing.T) {
+	k := New()
+	count := 0
+	k.NewTicker(time.Millisecond, func() { count++ })
+	k.Reset()
+	if err := k.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("pre-Reset ticker fired %d times", count)
+	}
+}

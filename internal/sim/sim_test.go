@@ -83,8 +83,38 @@ func TestCancel(t *testing.T) {
 	}
 	// Cancel after run must be a no-op.
 	e.Cancel()
-	var nilEvent *Event
-	nilEvent.Cancel() // must not panic
+	var zero Event
+	zero.Cancel() // zero handle must not panic
+	if zero.Scheduled() {
+		t.Fatal("zero Event reports Scheduled")
+	}
+}
+
+func TestEventHandleLifecycle(t *testing.T) {
+	k := New()
+	e := k.Schedule(time.Millisecond, func() {})
+	if !e.Scheduled() {
+		t.Fatal("pending event not Scheduled")
+	}
+	if want := Epoch.Add(time.Millisecond); !e.Time().Equal(want) {
+		t.Fatalf("Time() = %v, want %v", e.Time(), want)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e.Scheduled() {
+		t.Fatal("fired event still Scheduled")
+	}
+	// A stale handle must not be able to cancel the slot's new occupant.
+	fired := false
+	k.Schedule(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !fired {
+		t.Fatal("stale handle canceled a recycled slot's new event")
+	}
 }
 
 func TestRunFor(t *testing.T) {

@@ -84,7 +84,7 @@ type Sphinx struct {
 	// trusted Flow-Mods.
 	flowWaypoints map[packet.MAC]map[uint64]bool
 
-	pollEvent *sim.Event
+	pollEvent sim.Event
 	started   bool
 }
 
@@ -141,9 +141,7 @@ func (s *Sphinx) scheduleNextPoll() {
 // Stop halts counter polling.
 func (s *Sphinx) Stop() {
 	s.started = false
-	if s.pollEvent != nil {
-		s.pollEvent.Cancel()
-	}
+	s.pollEvent.Cancel()
 }
 
 // InterceptPacketIn implements the identifier-binding invariants. SPHINX

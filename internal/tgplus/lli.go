@@ -43,7 +43,7 @@ type LLI struct {
 	window  *stats.Window
 	samples []LatencySample
 
-	probeEvent *sim.Event
+	probeEvent sim.Event
 	started    bool
 }
 
@@ -106,9 +106,7 @@ func (l *LLI) Start() {
 // Stop halts control-link probing.
 func (l *LLI) Stop() {
 	l.started = false
-	if l.probeEvent != nil {
-		l.probeEvent.Cancel()
-	}
+	l.probeEvent.Cancel()
 }
 
 func (l *LLI) scheduleNextProbe() {
