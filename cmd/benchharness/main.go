@@ -14,6 +14,7 @@
 //
 //	benchharness -experiment chaos -chaostrials 5 -chaosout BENCH_pr3.json
 //	benchharness -experiment scale -seed 7
+//	benchharness -experiment scale -shards 4 -scalek 16 -scalerounds 3
 //
 // Profiling: -cpuprofile and -memprofile write pprof files for whatever
 // experiment ran. Profiles observe wall-clock behavior only; they do not
@@ -27,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +51,10 @@ func run(args []string) error {
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
 	metricsPath := fs.String("metrics", "", "write the obs experiment's metrics snapshot to this file (.csv for CSV, anything else for JSON Lines)")
+	shards := fs.Int("shards", 0, "scale experiment: shard kernels (0 = legacy single-kernel path at k=4,8)")
+	scaleK := fs.String("scalek", "4,8,16", "scale experiment: comma-separated fat-tree arities (sharded path only)")
+	scaleRounds := fs.Int("scalerounds", 3, "scale experiment: steady-state ping rounds (sharded path only)")
+	scaleParallel := fs.Bool("scaleparallel", true, "scale experiment: run shard epochs on parallel goroutines")
 	chaosTrials := fs.Int("chaostrials", 5, "chaos experiment: seeded trials per fault class")
 	chaosClasses := fs.String("chaosclasses", "", "chaos experiment: comma-separated fault classes (default all: flap-storm,loss-episode,latency-spike,disconnect)")
 	chaosOut := fs.String("chaosout", "", "chaos experiment: write the JSON report to this file")
@@ -111,7 +117,9 @@ func run(args []string) error {
 		"chaos": func(s int64, _ int) error {
 			return printChaos(s, *chaosTrials, *workers, *chaosClasses, *chaosOut)
 		},
-		"scale": func(s int64, _ int) error { return printScale(s) },
+		"scale": func(s int64, _ int) error {
+			return printScale(s, *shards, *scaleK, *scaleRounds, *scaleParallel)
+		},
 	}
 
 	if *experiment == "all" {
@@ -501,22 +509,68 @@ func printObs(seed int64, metricsPath string) error {
 }
 
 // printScale runs the fat-tree scale benchmark: full discovery plus
-// reactive cross-pod forwarding under TOPOGUARD+ at k=4 and k=8.
-func printScale(seed int64) error {
-	header("SCALE: k-ary fat-tree under TOPOGUARD+ (discovery + cross-pod traffic)")
-	fmt.Printf("%-4s %-10s %-7s %-8s %-8s %-8s %-10s %s\n",
-		"k", "switches", "hosts", "trunks", "links", "pings", "events", "wall")
-	for _, k := range []int{4, 8} {
-		r, err := core.RunScale(seed, k)
+// reactive cross-pod forwarding under TOPOGUARD+. With shards == 0 it
+// keeps the legacy single-kernel path at k=4 and k=8; with shards >= 1
+// it runs the sharded kernel over the -scalek arities (k=16 builds
+// 320 switches, k=32 builds 1280 — only reachable on the sharded path).
+func printScale(seed int64, shards int, scaleK string, rounds int, parallel bool) error {
+	if shards <= 0 {
+		header("SCALE: k-ary fat-tree under TOPOGUARD+ (discovery + cross-pod traffic)")
+		fmt.Printf("%-4s %-10s %-7s %-8s %-8s %-8s %-10s %s\n",
+			"k", "switches", "hosts", "trunks", "links", "pings", "events", "wall")
+		for _, k := range []int{4, 8} {
+			r, err := core.RunScale(seed, k)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-4d %-10d %-7d %-8d %-8d %d/%-6d %-10d %s\n",
+				r.K, r.Switches, r.Hosts, r.Trunks, r.DirectedLinks,
+				r.PingsAnswered, r.PingsSent, r.Events, r.Wall.Truncate(time.Millisecond))
+		}
+		fmt.Println("(all trunks discovered in both directions; wall time is host-dependent)")
+		return nil
+	}
+
+	ks, err := parseInts(scaleK)
+	if err != nil {
+		return fmt.Errorf("-scalek: %w", err)
+	}
+	header(fmt.Sprintf("SCALE (sharded): fat-tree under TOPOGUARD+, %d shard(s), parallel=%v, %d rounds",
+		shards, parallel, rounds))
+	fmt.Printf("%-4s %-10s %-7s %-8s %-8s %-8s %-8s %-10s %-10s %s\n",
+		"k", "switches", "hosts", "trunks", "xshard", "links", "pings", "events", "lookahead", "wall")
+	for _, k := range ks {
+		r, err := core.RunShardedScale(seed, k, shards, parallel, rounds)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-4d %-10d %-7d %-8d %-8d %d/%-6d %-10d %s\n",
-			r.K, r.Switches, r.Hosts, r.Trunks, r.DirectedLinks,
-			r.PingsAnswered, r.PingsSent, r.Events, r.Wall.Truncate(time.Millisecond))
+		fmt.Printf("%-4d %-10d %-7d %-8d %-8d %-8d %d/%-6d %-10d %-10s %s\n",
+			r.K, r.Switches, r.Hosts, r.Trunks, r.CrossTrunks, r.DirectedLinks,
+			r.PingsAnswered, r.PingsSent, r.Events, r.Lookahead, r.Wall.Truncate(time.Millisecond))
+		fmt.Printf("     per-shard events: %v  LLI false positives: %d\n", r.ShardEvents, r.LLIAlerts)
 	}
-	fmt.Println("(all trunks discovered in both directions; wall time is host-dependent)")
+	fmt.Println("(event totals, link and ping outcomes are identical across shard counts;")
+	fmt.Println(" wall time is host-dependent)")
 	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", csv)
+	}
+	return out, nil
 }
 
 func printMatrix(seed int64) error {

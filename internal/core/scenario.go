@@ -78,9 +78,10 @@ func (s *Scenario) Close() {
 	s.Net.Shutdown()
 }
 
-// newScenario creates a network with the defense stack's controller
-// options applied.
-func newScenario(seed int64, def Defenses, extra ...controller.Option) *Scenario {
+// defenseOptions derives the controller options a defense stack needs
+// (LLDP keychain, timestamped probes), shared by the serial and sharded
+// scenario constructors.
+func defenseOptions(def Defenses, extra []controller.Option) []controller.Option {
 	opts := extra
 	if def.TopoGuard || def.LLI {
 		kc, err := lldp.NewKeychain([]byte("controller-lldp-secret"))
@@ -91,36 +92,57 @@ func newScenario(seed int64, def Defenses, extra ...controller.Option) *Scenario
 	if def.LLI {
 		opts = append(opts, controller.WithLLDPTimestamps())
 	}
-	s := &Scenario{Net: netsim.New(seed, opts...), Def: def}
-	return s
+	return opts
+}
+
+// defenseModules holds the deployed security modules of a scenario.
+type defenseModules struct {
+	TopoGuard *topoguard.TopoGuard
+	Sphinx    *sphinx.Sphinx
+	CMM       *tgplus.CMM
+	LLI       *tgplus.LLI
+}
+
+// deployDefenses registers the selected modules on a controller. Call
+// after switches are added so module tickers observe a populated network.
+func deployDefenses(ctl *controller.Controller, def Defenses) defenseModules {
+	var m defenseModules
+	if def.TopoGuard {
+		m.TopoGuard = topoguard.New()
+		ctl.Register(m.TopoGuard)
+	}
+	if def.CMM {
+		m.CMM = tgplus.NewCMM(0)
+		ctl.Register(m.CMM)
+	}
+	if def.LLI {
+		cfg := tgplus.DefaultLLIConfig()
+		if def.LLIConfig != nil {
+			cfg = *def.LLIConfig
+		}
+		m.LLI = tgplus.NewLLI(cfg)
+		ctl.Register(m.LLI)
+		m.LLI.Start()
+	}
+	if def.Sphinx {
+		m.Sphinx = sphinx.New(sphinx.DefaultConfig())
+		ctl.Register(m.Sphinx)
+		m.Sphinx.Start()
+	}
+	return m
+}
+
+// newScenario creates a network with the defense stack's controller
+// options applied.
+func newScenario(seed int64, def Defenses, extra ...controller.Option) *Scenario {
+	return &Scenario{Net: netsim.New(seed, defenseOptions(def, extra)...), Def: def}
 }
 
 // deploy registers the selected modules. Call after switches are added so
 // module tickers observe a populated network.
 func (s *Scenario) deploy() {
-	ctl := s.Net.Controller
-	if s.Def.TopoGuard {
-		s.TopoGuard = topoguard.New()
-		ctl.Register(s.TopoGuard)
-	}
-	if s.Def.CMM {
-		s.CMM = tgplus.NewCMM(0)
-		ctl.Register(s.CMM)
-	}
-	if s.Def.LLI {
-		cfg := tgplus.DefaultLLIConfig()
-		if s.Def.LLIConfig != nil {
-			cfg = *s.Def.LLIConfig
-		}
-		s.LLI = tgplus.NewLLI(cfg)
-		ctl.Register(s.LLI)
-		s.LLI.Start()
-	}
-	if s.Def.Sphinx {
-		s.Sphinx = sphinx.New(sphinx.DefaultConfig())
-		ctl.Register(s.Sphinx)
-		s.Sphinx.Start()
-	}
+	m := deployDefenses(s.Net.Controller, s.Def)
+	s.TopoGuard, s.Sphinx, s.CMM, s.LLI = m.TopoGuard, m.Sphinx, m.CMM, m.LLI
 }
 
 // Host link latency used in the evaluation testbed (all dataplane links

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/netsim"
+	"sdntamper/internal/tgplus"
+)
+
+// ShardedScenario is a fat-tree scenario partitioned across shard
+// kernels: the sharded counterpart of Scenario for scale experiments.
+type ShardedScenario struct {
+	Net *netsim.ShardedNetwork
+	Def Defenses
+
+	modules defenseModules
+}
+
+// NewShardedFatTreeScenario builds a k-ary fat-tree under the selected
+// defenses on a sharded network: controller and core tier on shard 0,
+// pods dealt round-robin over the remaining shards. shards == 1 is the
+// serial reference configuration; every shard count produces the same
+// simulation (see TestShardedByteIdentical).
+func NewShardedFatTreeScenario(seed int64, k, shards int, def Defenses, ctlOpts ...controller.Option) (*ShardedScenario, *netsim.FatTreeTopology) {
+	opts := defenseOptions(def, ctlOpts)
+	net := netsim.NewSharded(seed, shards, netsim.FatTreePartition(k, shards), opts...)
+	topo := netsim.BuildFatTreeOn(net, k, netsim.TestbedTrunkLatency(), testbedHostLink())
+	s := &ShardedScenario{Net: net, Def: def}
+	s.modules = deployDefenses(net.Controller, def)
+	return s, topo
+}
+
+// Run advances the scenario's virtual clock across all shards.
+func (s *ShardedScenario) Run(d time.Duration) error { return s.Net.Run(d) }
+
+// Close stops background tickers.
+func (s *ShardedScenario) Close() {
+	if s.modules.Sphinx != nil {
+		s.modules.Sphinx.Stop()
+	}
+	if s.modules.LLI != nil {
+		s.modules.LLI.Stop()
+	}
+	s.Net.Shutdown()
+}
+
+// ShardedScaleResult summarizes one sharded fat-tree scale run. All
+// fields except Wall and ShardEvents are deterministic for a fixed seed
+// and identical across shard counts and serial/parallel execution;
+// ShardEvents is deterministic per shard count (execution geometry), and
+// Wall is the only wall-clock quantity.
+type ShardedScaleResult struct {
+	K             int
+	Shards        int
+	Parallel      bool
+	Switches      int
+	Hosts         int
+	Trunks        int
+	CrossTrunks   int           // trunks paying the cross-shard mailbox path
+	Lookahead     time.Duration // conservative epoch stride
+	DirectedLinks int
+	LLIAlerts     int // abnormal-delay false positives (IQR fence tail, grows with k)
+	PingsSent     int
+	PingsAnswered int
+	Rounds        int
+	Events        uint64        // total executed events (shard-count invariant)
+	ShardEvents   []uint64      // per-shard executed events (geometry)
+	VirtualTime   time.Duration // simulated span
+	Wall          time.Duration // host wall-clock cost (non-deterministic)
+	MetricsProm   string        // merged per-shard registries, Prometheus text
+}
+
+// RunShardedScale builds a k-ary fat-tree under TOPOGUARD+ on the given
+// shard count, lets discovery converge, warms cross-pod paths with ARP
+// pings from every even-indexed host, then runs `rounds` unicast ping
+// rounds one virtual second apart — inside the controller's 5 s flow
+// idle timeout, so warmed rounds ride installed flows entirely on the
+// dataplane (pod shards), the workload the sharded kernel parallelizes.
+func RunShardedScale(seed int64, k, shards int, parallel bool, rounds int) (*ShardedScaleResult, error) {
+	wallStart := time.Now()
+	s, topo := NewShardedFatTreeScenario(seed, k, shards, TopoGuardPlus())
+	defer s.Close()
+	s.Net.SetParallel(parallel)
+
+	res := &ShardedScaleResult{
+		K:           k,
+		Shards:      shards,
+		Parallel:    parallel,
+		Switches:    topo.Switches(),
+		Hosts:       topo.Hosts(),
+		Trunks:      len(s.Net.Trunks()),
+		CrossTrunks: s.Net.CrossShardTrunks(),
+		Lookahead:   s.Net.Group.Lookahead(),
+		Rounds:      rounds,
+	}
+
+	// Let handshakes, discovery rounds and LLI baselines settle.
+	if err := s.Run(30 * time.Second); err != nil {
+		return nil, err
+	}
+
+	// Warm round: cross-pod ARP resolution installs reactive flows.
+	// Probe callbacks fire on the destination host's shard goroutine
+	// under parallel execution, so the tally must be atomic.
+	var answered atomic.Int64
+	onProbe := func(r dataplane.ProbeResult) {
+		if r.Alive {
+			answered.Add(1)
+		}
+	}
+	hosts := topo.HostNames
+	pair := func(i int) (*dataplane.Host, *dataplane.Host) {
+		return s.Net.Host(hosts[i]), s.Net.Host(hosts[(i+len(hosts)/2)%len(hosts)])
+	}
+	for i := 0; i < len(hosts); i += 2 {
+		src, dst := pair(i)
+		res.PingsSent++
+		src.ARPPing(dst.IP(), 5*time.Second, onProbe)
+	}
+	if err := s.Run(10 * time.Second); err != nil {
+		return nil, err
+	}
+
+	// Steady-state rounds: unicast pings on installed flows.
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < len(hosts); i += 2 {
+			src, dst := pair(i)
+			res.PingsSent++
+			src.Ping(dst.MAC(), dst.IP(), 5*time.Second, onProbe)
+		}
+		if err := s.Run(time.Second); err != nil {
+			return nil, err
+		}
+	}
+	// Drain the final round's probes.
+	if err := s.Run(10 * time.Second); err != nil {
+		return nil, err
+	}
+
+	res.PingsAnswered = int(answered.Load())
+	res.DirectedLinks = len(s.Net.Controller.Links())
+	res.LLIAlerts = len(s.Net.Controller.AlertsByReason(tgplus.ReasonAbnormalDelay))
+	// Complete discovery, modulo the LLI's IQR fence: at thousands of
+	// burst-latency measurements per round the fence's tail guarantees a
+	// few false positives, each of which blocks one link refresh and is
+	// recorded as an alert. Every missing directed link must be accounted
+	// for by such an alert; an unexplained gap is a real discovery failure.
+	if want := 2 * res.Trunks; want-res.DirectedLinks > res.LLIAlerts {
+		return nil, fmt.Errorf("k=%d shards=%d: discovered %d directed links, want %d (only %d LLI alerts)",
+			k, shards, res.DirectedLinks, want, res.LLIAlerts)
+	}
+	res.Events = s.Net.Group.Executed()
+	for i := 0; i < shards; i++ {
+		res.ShardEvents = append(res.ShardEvents, s.Net.ShardExecuted(i))
+	}
+	res.VirtualTime = 50*time.Second + time.Duration(rounds)*time.Second
+	res.Wall = time.Since(wallStart)
+
+	var b strings.Builder
+	if err := s.Net.MergedMetrics().Snapshot().WritePrometheus(&b); err != nil {
+		return nil, err
+	}
+	res.MetricsProm = b.String()
+	return res, nil
+}

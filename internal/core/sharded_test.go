@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestShardedByteIdentical is the equivalence gate for the sharded
+// kernel: the same k=4 fat-tree trial under TOPOGUARD+ must produce
+// byte-identical merged metrics snapshots — and identical ping and
+// discovery outcomes — at 1 shard (the serial reference), 2 shards, 5
+// shards (every pod on its own kernel), and with parallel epoch
+// execution at 5 shards.
+func TestShardedByteIdentical(t *testing.T) {
+	const seed, k, rounds = 424242, 4, 2
+
+	type config struct {
+		name     string
+		shards   int
+		parallel bool
+	}
+	configs := []config{
+		{"serial-1shard", 1, false},
+		{"2shards", 2, false},
+		{"5shards", 5, false},
+		{"5shards-parallel", 5, true},
+	}
+
+	var ref *ShardedScaleResult
+	for _, cfg := range configs {
+		res, err := RunShardedScale(seed, k, cfg.shards, cfg.parallel, rounds)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if res.PingsAnswered != res.PingsSent {
+			t.Fatalf("%s: %d of %d pings answered", cfg.name, res.PingsAnswered, res.PingsSent)
+		}
+		if cfg.shards > 1 {
+			// The equivalence must be earned: pod↔core trunks and pod
+			// control channels really cross shards, and every shard
+			// executes a share of the events.
+			if res.CrossTrunks == 0 {
+				t.Fatalf("%s: no cross-shard trunks", cfg.name)
+			}
+			for i, n := range res.ShardEvents {
+				if n == 0 {
+					t.Fatalf("%s: shard %d executed no events", cfg.name, i)
+				}
+			}
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Events != ref.Events {
+			t.Errorf("%s: executed %d events, reference %d", cfg.name, res.Events, ref.Events)
+		}
+		if res.DirectedLinks != ref.DirectedLinks {
+			t.Errorf("%s: %d directed links, reference %d", cfg.name, res.DirectedLinks, ref.DirectedLinks)
+		}
+		if res.LLIAlerts != ref.LLIAlerts {
+			t.Errorf("%s: %d LLI alerts, reference %d", cfg.name, res.LLIAlerts, ref.LLIAlerts)
+		}
+		if res.PingsAnswered != ref.PingsAnswered {
+			t.Errorf("%s: %d pings answered, reference %d", cfg.name, res.PingsAnswered, ref.PingsAnswered)
+		}
+		if res.MetricsProm != ref.MetricsProm {
+			t.Errorf("%s: merged metrics snapshot diverges from serial reference (%d vs %d bytes)",
+				cfg.name, len(res.MetricsProm), len(ref.MetricsProm))
+			diffFirstLine(t, ref.MetricsProm, res.MetricsProm)
+		}
+	}
+	if ref != nil && ref.MetricsProm == "" {
+		t.Fatal("reference snapshot is empty")
+	}
+}
+
+// diffFirstLine reports the first diverging snapshot line, for debugging
+// without dumping two full exports.
+func diffFirstLine(t *testing.T, a, b string) {
+	t.Helper()
+	la, lb := splitLines(a), splitLines(b)
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			t.Logf("first divergence at line %d:\n  ref: %s\n  got: %s", i+1, la[i], lb[i])
+			return
+		}
+	}
+	t.Logf("snapshots diverge in length: %d vs %d lines", len(la), len(lb))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

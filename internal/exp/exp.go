@@ -43,9 +43,12 @@ func Run[R any](seeds []int64, workers int, trial func(seed int64) (R, error)) (
 //
 // With one worker the trials run inline on the calling goroutine in item
 // order — the serial reference path — stopping at the first error. With
-// more workers every trial runs to completion and the error returned (if
-// any) is the one the serial path would have surfaced first, so the two
-// modes are observationally identical for deterministic trials.
+// more workers, dispatch stops as soon as any trial fails: in-flight
+// trials drain, undispatched ones never start. Because jobs are handed
+// out in item order, every item before the lowest-indexed failure has
+// already been dispatched when the abort triggers, so draining still
+// observes the error the serial path would have surfaced first and the
+// two modes stay observationally identical for deterministic trials.
 func Grid[T, R any](items []T, workers int, fn func(item T) (R, error)) ([]R, error) {
 	if len(items) == 0 {
 		return nil, nil
@@ -75,6 +78,7 @@ func Grid[T, R any](items []T, workers int, fn func(item T) (R, error)) ([]R, er
 	}
 	jobs := make(chan int)
 	outcomes := make(chan outcome)
+	abort := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -87,12 +91,18 @@ func Grid[T, R any](items []T, workers int, fn func(item T) (R, error)) ([]R, er
 		}()
 	}
 	go func() {
+		defer func() {
+			close(jobs)
+			wg.Wait()
+			close(outcomes)
+		}()
 		for i := range items {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-abort:
+				return
+			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(outcomes)
 	}()
 
 	firstErr := -1
@@ -101,6 +111,7 @@ func Grid[T, R any](items []T, workers int, fn func(item T) (R, error)) ([]R, er
 		if o.err != nil {
 			if errs == nil {
 				errs = make([]error, len(items))
+				close(abort)
 			}
 			errs[o.index] = o.err
 			if firstErr < 0 || o.index < firstErr {

@@ -116,6 +116,88 @@ func TestGridErrorIsFirstInItemOrder(t *testing.T) {
 	}
 }
 
+// TestGridStopsDispatchAfterError: once a trial fails, the remaining
+// undispatched trials must never start. Item 0 fails immediately; the
+// other items park on a gate that only the test releases, so any item
+// dispatched after the failure would deadlock the run (caught by the
+// test timeout) — instead the grid must drain in-flight work and return.
+func TestGridStopsDispatchAfterError(t *testing.T) {
+	const n, workers = 1000, 4
+	sentinel := errors.New("early failure")
+	gate := make(chan struct{})
+	failed := make(chan struct{})
+	var started atomic.Int32
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Grid(items, workers, func(i int) (int, error) {
+			started.Add(1)
+			if i == 0 {
+				close(failed)
+				return 0, sentinel
+			}
+			<-gate
+			return i, nil
+		})
+		done <- err
+	}()
+	// While the gate is shut every non-failing worker parks inside its
+	// current trial, so at most `workers` trials can be running. Wait for
+	// the failure, give the collector time to observe it and stop the
+	// feeder, then release the in-flight trials so the drain completes.
+	<-failed
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	select {
+	case err := <-done:
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want %v", err, sentinel)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("grid did not return after early failure")
+	}
+	// Only the trials dispatched before the abort may run: the failing
+	// item plus the in-flight ones, with a small dispatch race margin —
+	// nowhere near all n.
+	if s := started.Load(); int(s) > 2*workers {
+		t.Fatalf("%d trials started after early failure, want <= %d", s, 2*workers)
+	}
+}
+
+// TestGridAbortKeepsFirstErrorByItemOrder: the early abort must not
+// change which error is reported. Item 5 fails slowly, item 20 fails
+// fast; the parallel path likely observes item 20's failure first and
+// aborts, but item 5 was dispatched earlier (in-order dispatch), so the
+// drain still surfaces "trial 5" exactly like the serial path.
+func TestGridAbortKeepsFirstErrorByItemOrder(t *testing.T) {
+	items := make([]int, 40)
+	for i := range items {
+		items[i] = i
+	}
+	trial := func(i int) (int, error) {
+		switch i {
+		case 5:
+			time.Sleep(20 * time.Millisecond)
+			return 0, fmt.Errorf("slow failure %d", i)
+		case 20:
+			return 0, fmt.Errorf("fast failure %d", i)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := Grid(items, workers, trial)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if want := "trial 5: slow failure 5"; err.Error() != want {
+			t.Fatalf("workers=%d: err = %q, want %q", workers, err, want)
+		}
+	}
+}
+
 func TestRunDefaultWorkers(t *testing.T) {
 	got, err := Run(Seeds(1, 9, 1), 0, func(seed int64) (int64, error) { return seed, nil })
 	if err != nil {

@@ -6,6 +6,8 @@
 package link
 
 import (
+	"fmt"
+	"math/rand"
 	"time"
 
 	"sdntamper/internal/sim"
@@ -71,6 +73,37 @@ func deliverFrame(arg any) {
 	}
 }
 
+// deliverFrameSplit is the cross-shard variant: the delivery struct was
+// allocated on the sender's shard and executes on the receiver's, so it
+// is never recycled into the link's (single-shard) free list.
+func deliverFrameSplit(arg any) {
+	d := arg.(*frameDelivery)
+	if peer := d.l.peer(d.from); peer != nil {
+		peer.ReceiveFrame(d.buf)
+	}
+}
+
+// splitState holds the cross-shard wiring of a Link or Channel whose two
+// ends live on different shards of a sim.ShardGroup. A split link's
+// shared fields become effectively read-only (SetCarrier, SetLossRate
+// and narrowing SetLatency panic); mutable per-send state is either
+// owned per direction (drop counters, RNG streams) or freshly allocated
+// (delivery structs), so both shard goroutines can send concurrently.
+type splitState struct {
+	group              *sim.ShardGroup
+	shardA, shardB     int
+	kernelB            *sim.Kernel
+	minNs              int64 // latency lower bound registered as lookahead
+	droppedA, droppedB uint64
+}
+
+func (s *splitState) route(from End) (src, dst int) {
+	if from == EndA {
+		return s.shardA, s.shardB
+	}
+	return s.shardB, s.shardA
+}
+
 // Link is a full-duplex point-to-point dataplane link.
 type Link struct {
 	kernel   *sim.Kernel
@@ -81,6 +114,9 @@ type Link struct {
 	upB      bool
 	dropped  uint64
 	free     []*frameDelivery
+	rngA     *rand.Rand
+	rngB     *rand.Rand
+	split    *splitState
 }
 
 // NewLink creates a link whose per-frame one-way delay is drawn from
@@ -118,6 +154,51 @@ func (l *Link) carrier(end End) bool {
 // CarrierUp reports whether the transceiver on the given end is up.
 func (l *Link) CarrierUp(end End) bool { return l.carrier(end) }
 
+// SetRands gives each direction its own latency/loss RNG stream instead
+// of the owning kernel's. Sharded scenarios assign per-link streams
+// (seeded from the trial seed and the link's identity) to EVERY link, so
+// a link's draw sequence depends only on how many frames it has carried
+// — not on which shard executes it — which is what keeps output
+// byte-identical across shard counts.
+func (l *Link) SetRands(a, b *rand.Rand) {
+	l.rngA, l.rngB = a, b
+}
+
+// rng selects the RNG stream for a send from the given end.
+func (l *Link) rng(from End) *rand.Rand {
+	if from == EndA {
+		if l.rngA != nil {
+			return l.rngA
+		}
+	} else if l.rngB != nil {
+		return l.rngB
+	}
+	return l.kernel.Rand()
+}
+
+// Split marks the link as crossing shards: end A lives on shardA of the
+// group and end B on shardB (with kernelB as B's kernel). Frames are
+// handed across via the group's epoch mailbox instead of the local
+// kernel, and the link's guaranteed minimum latency is registered as
+// group lookahead. Requires per-direction RNG streams (SetRands) so
+// draws stay off the shard kernels, and a latency sampler with a
+// positive lower bound (sim.MinBounder) — conservative synchronization
+// is impossible without one.
+func (l *Link) Split(group *sim.ShardGroup, shardA, shardB int, kernelB *sim.Kernel) {
+	if l.split != nil {
+		panic("link: already split")
+	}
+	if l.rngA == nil || l.rngB == nil {
+		panic("link: Split requires per-direction RNGs (SetRands)")
+	}
+	min, ok := sim.SamplerMinBound(l.latency)
+	if !ok || min <= 0 {
+		panic(fmt.Sprintf("link: cross-shard latency %T has no positive lower bound", l.latency))
+	}
+	group.RegisterCrossLatency(min)
+	l.split = &splitState{group: group, shardA: shardA, shardB: shardB, kernelB: kernelB, minNs: int64(min)}
+}
+
 // SetLossRate sets an independent per-frame drop probability, for
 // failure-injection experiments (e.g. how many consecutive lost LLDP
 // probes a link survives given Table III's timeout margins).
@@ -132,8 +213,26 @@ func (l *Link) SetLossRate(p float64) {
 	}
 }
 
-// Dropped reports frames lost to injected loss.
-func (l *Link) Dropped() uint64 { return l.dropped }
+// Dropped reports frames lost to injected loss. On a split link the
+// per-direction counts are summed; call it only between runs.
+func (l *Link) Dropped() uint64 {
+	if s := l.split; s != nil {
+		return l.dropped + s.droppedA + s.droppedB
+	}
+	return l.dropped
+}
+
+func (l *Link) noteDrop(from End) {
+	if s := l.split; s != nil {
+		if from == EndA {
+			s.droppedA++
+		} else {
+			s.droppedB++
+		}
+		return
+	}
+	l.dropped++
+}
 
 // LossRate reports the current injected per-frame drop probability.
 func (l *Link) LossRate() float64 { return l.lossRate }
@@ -145,9 +244,18 @@ func (l *Link) Latency() sim.Sampler { return l.latency }
 // the delay they were sent with; only subsequent sends sample the new
 // distribution. Fault injection wraps the current sampler (e.g. with
 // sim.Scaled) for the duration of a latency spike and restores it after.
+// On a split link the replacement must keep a lower bound at least the
+// one registered as group lookahead, and the swap must happen between
+// runs (the field is read concurrently during epochs).
 func (l *Link) SetLatency(s sim.Sampler) {
 	if s == nil {
 		s = sim.Const(0)
+	}
+	if sp := l.split; sp != nil {
+		min, ok := sim.SamplerMinBound(s)
+		if !ok || int64(min) < sp.minNs {
+			panic("link: new latency undercuts the split link's registered lookahead")
+		}
 	}
 	l.latency = s
 }
@@ -162,12 +270,19 @@ func (l *Link) Send(from End, data []byte) {
 	if !l.upA || !l.upB {
 		return
 	}
-	if l.lossRate > 0 && l.kernel.Rand().Float64() < l.lossRate {
-		l.dropped++
+	r := l.rng(from)
+	if l.lossRate > 0 && r.Float64() < l.lossRate {
+		l.noteDrop(from)
 		return
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	delay := l.latency.Sample(r)
+	if s := l.split; s != nil {
+		src, dst := s.route(from)
+		s.group.Post(src, dst, delay, deliverFrameSplit, &frameDelivery{l: l, from: from, buf: buf})
+		return
+	}
 	var d *frameDelivery
 	if n := len(l.free); n > 0 {
 		d = l.free[n-1]
@@ -176,13 +291,19 @@ func (l *Link) Send(from End, data []byte) {
 		d = &frameDelivery{}
 	}
 	d.l, d.from, d.buf = l, from, buf
-	l.kernel.ScheduleArg(l.latency.Sample(l.kernel.Rand()), deliverFrame, d)
+	l.kernel.ScheduleArg(delay, deliverFrame, d)
 }
 
 // SetCarrier raises or lowers the transceiver on one end (a host bringing
 // its interface down, a cable unplugged). The peer attachment is notified
 // immediately; modeling of detection latency is the peer's concern.
 func (l *Link) SetCarrier(end End, up bool) {
+	if l.split != nil {
+		// Carrier flaps mutate state both shard goroutines read mid-epoch;
+		// topology-tampering scenarios must keep their flapping links
+		// inside one shard.
+		panic("link: SetCarrier on a split link")
+	}
 	if end == EndA {
 		if l.upA == up {
 			return
@@ -237,6 +358,9 @@ type Channel struct {
 	onA      func([]byte)
 	onB      func([]byte)
 	free     []*msgDelivery
+	rngA     *rand.Rand
+	rngB     *rand.Rand
+	split    *splitState
 }
 
 // msgDelivery is the pooled in-flight state of one Channel.Send.
@@ -261,6 +385,21 @@ func deliverMsg(arg any) {
 	}
 	if fn != nil {
 		fn(buf)
+	}
+}
+
+// deliverMsgSplit is the cross-shard variant of deliverMsg; like
+// deliverFrameSplit it never touches the single-shard free list.
+func deliverMsgSplit(arg any) {
+	d := arg.(*msgDelivery)
+	var fn func([]byte)
+	if d.from == EndA {
+		fn = d.c.onB
+	} else {
+		fn = d.c.onA
+	}
+	if fn != nil {
+		fn(d.buf)
 	}
 }
 
@@ -295,8 +434,69 @@ func (c *Channel) SetLossRate(p float64) {
 	}
 }
 
-// Dropped reports messages lost to injected loss.
-func (c *Channel) Dropped() uint64 { return c.dropped }
+// SetRands gives each channel direction its own RNG stream; see
+// Link.SetRands for the shard-count-invariance rationale.
+func (c *Channel) SetRands(a, b *rand.Rand) {
+	c.rngA, c.rngB = a, b
+}
+
+func (c *Channel) rng(from End) *rand.Rand {
+	if from == EndA {
+		if c.rngA != nil {
+			return c.rngA
+		}
+	} else if c.rngB != nil {
+		return c.rngB
+	}
+	return c.kernel.Rand()
+}
+
+// Split marks the channel as crossing shards; see Link.Split. Control
+// connections from a central controller shard to pod shards are the main
+// user.
+func (c *Channel) Split(group *sim.ShardGroup, shardA, shardB int, kernelB *sim.Kernel) {
+	if c.split != nil {
+		panic("link: channel already split")
+	}
+	if c.rngA == nil || c.rngB == nil {
+		panic("link: Split requires per-direction RNGs (SetRands)")
+	}
+	min, ok := sim.SamplerMinBound(c.latency)
+	if !ok || min <= 0 {
+		panic(fmt.Sprintf("link: cross-shard latency %T has no positive lower bound", c.latency))
+	}
+	group.RegisterCrossLatency(min)
+	c.split = &splitState{group: group, shardA: shardA, shardB: shardB, kernelB: kernelB, minNs: int64(min)}
+}
+
+// kernelFor reports the kernel owning the given end's shard.
+func (c *Channel) kernelFor(from End) *sim.Kernel {
+	if s := c.split; s != nil && from == EndB {
+		return s.kernelB
+	}
+	return c.kernel
+}
+
+// Dropped reports messages lost to injected loss. On a split channel the
+// per-direction counts are summed; call it only between runs.
+func (c *Channel) Dropped() uint64 {
+	if s := c.split; s != nil {
+		return c.dropped + s.droppedA + s.droppedB
+	}
+	return c.dropped
+}
+
+func (c *Channel) noteDrop(from End) {
+	if s := c.split; s != nil {
+		if from == EndA {
+			s.droppedA++
+		} else {
+			s.droppedB++
+		}
+		return
+	}
+	c.dropped++
+}
 
 // LossRate reports the current injected per-message drop probability.
 func (c *Channel) LossRate() float64 { return c.lossRate }
@@ -305,10 +505,18 @@ func (c *Channel) LossRate() float64 { return c.lossRate }
 func (c *Channel) Latency() sim.Sampler { return c.latency }
 
 // SetLatency swaps the channel's delay sampler. Messages already in flight
-// keep the delay they were sent with.
+// keep the delay they were sent with. On a split channel the replacement
+// must keep a lower bound at least the registered lookahead and the swap
+// must happen between runs.
 func (c *Channel) SetLatency(s sim.Sampler) {
 	if s == nil {
 		s = sim.Const(0)
+	}
+	if sp := c.split; sp != nil {
+		min, ok := sim.SamplerMinBound(s)
+		if !ok || int64(min) < sp.minNs {
+			panic("link: new latency undercuts the split channel's registered lookahead")
+		}
 	}
 	c.latency = s
 }
@@ -318,12 +526,19 @@ func (c *Channel) SetLatency(s sim.Sampler) {
 // data is copied; the caller may reuse its buffer once Send returns, and
 // the receiving handler owns the delivered copy.
 func (c *Channel) Send(from End, data []byte) {
-	if c.lossRate > 0 && c.kernel.Rand().Float64() < c.lossRate {
-		c.dropped++
+	r := c.rng(from)
+	if c.lossRate > 0 && r.Float64() < c.lossRate {
+		c.noteDrop(from)
 		return
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	delay := c.latency.Sample(r)
+	if s := c.split; s != nil {
+		src, dst := s.route(from)
+		s.group.Post(src, dst, delay, deliverMsgSplit, &msgDelivery{c: c, from: from, buf: buf})
+		return
+	}
 	var d *msgDelivery
 	if n := len(c.free); n > 0 {
 		d = c.free[n-1]
@@ -332,14 +547,14 @@ func (c *Channel) Send(from End, data []byte) {
 		d = &msgDelivery{}
 	}
 	d.c, d.from, d.buf = c, from, buf
-	c.kernel.ScheduleArg(c.latency.Sample(c.kernel.Rand()), deliverMsg, d)
+	c.kernel.ScheduleArg(delay, deliverMsg, d)
 }
 
 // SendAfter behaves like Send with an extra fixed delay prepended, used to
 // model processing time at the sender (e.g. 802.11 encode/decode on an
-// out-of-band relay).
+// out-of-band relay). The delay elapses on the sender's own shard.
 func (c *Channel) SendAfter(from End, extra time.Duration, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	c.kernel.Schedule(extra, func() { c.Send(from, buf) })
+	c.kernelFor(from).Schedule(extra, func() { c.Send(from, buf) })
 }

@@ -1,0 +1,258 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/link"
+	"sdntamper/internal/obs"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// Seed-derivation tags for the per-entity random streams of a sharded
+// network. Every stream's seed is sim.MixSeed(trialSeed, tag, identity...),
+// a pure function of the trial seed and the entity's identity — never of
+// shard placement — which is the root of the shard-count invariance
+// guarantee.
+const (
+	shardTagKernel uint64 = iota + 1
+	shardTagControl
+	shardTagTrunk
+	shardTagHostLink
+)
+
+// ShardedNetwork is a simulated SDN network partitioned across several
+// sim.Kernels coordinated by a sim.ShardGroup. It implements Builder, so
+// topology generators (BuildFatTreeOn) assemble onto it through the exact
+// same call sequence as onto a serial Network.
+//
+// Placement: the controller always lives on shard 0; each switch goes to
+// the shard its partition map assigns (missing entries default to 0);
+// hosts follow their access switch. Links whose endpoints land on
+// different shards are split (link.Link.Split): their frames cross at
+// the group's epoch boundaries, and their minimum latency bounds the
+// group lookahead.
+//
+// Determinism: every link and control channel gets per-direction RNG
+// streams seeded from the trial seed and the entity's identity, each
+// shard keeps a private metrics registry, and MergedMetrics folds the
+// registries in shard-ID order. Snapshot output is byte-identical across
+// shard counts and between serial and parallel epoch execution.
+type ShardedNetwork struct {
+	Group      *sim.ShardGroup
+	Controller *controller.Controller
+
+	seed        int64
+	kernels     []*sim.Kernel
+	regs        []*obs.Registry
+	part        map[uint64]int
+	switches    map[uint64]*dataplane.Switch
+	hosts       map[string]*dataplane.Host
+	hostLoc     map[string]controller.PortRef
+	controls    map[uint64]*link.Channel
+	trunks      []*link.Link
+	crossTrunks int
+}
+
+// NewSharded creates an empty sharded network of the given shard count.
+// partition maps switch DPIDs to shard IDs in [0, shards); DPIDs not in
+// the map land on shard 0 with the controller. Shard kernels are seeded
+// from the trial seed and their shard ID.
+func NewSharded(seed int64, shards int, partition map[uint64]int, ctlOpts ...controller.Option) *ShardedNetwork {
+	if shards < 1 {
+		panic("netsim: sharded network needs at least one shard")
+	}
+	kernels := make([]*sim.Kernel, shards)
+	regs := make([]*obs.Registry, shards)
+	for i := range kernels {
+		kernels[i] = sim.New(sim.WithSeed(sim.MixSeed(seed, shardTagKernel, uint64(i))))
+		regs[i] = obs.NewRegistry()
+	}
+	opts := append([]controller.Option{controller.WithMetrics(regs[0])}, ctlOpts...)
+	return &ShardedNetwork{
+		Group:      sim.NewShardGroup(kernels...),
+		Controller: controller.New(kernels[0], opts...),
+		seed:       seed,
+		kernels:    kernels,
+		regs:       regs,
+		part:       partition,
+		switches:   make(map[uint64]*dataplane.Switch),
+		hosts:      make(map[string]*dataplane.Host),
+		hostLoc:    make(map[string]controller.PortRef),
+		controls:   make(map[uint64]*link.Channel),
+	}
+}
+
+// Shards reports the shard count.
+func (n *ShardedNetwork) Shards() int { return len(n.kernels) }
+
+// ShardOf reports the shard a switch DPID is placed on.
+func (n *ShardedNetwork) ShardOf(dpid uint64) int {
+	if s, ok := n.part[dpid]; ok {
+		if s < 0 || s >= len(n.kernels) {
+			panic(fmt.Sprintf("netsim: dpid 0x%x partitioned to shard %d of %d", dpid, s, len(n.kernels)))
+		}
+		return s
+	}
+	return 0
+}
+
+// SetParallel selects parallel (one goroutine per shard) or serial epoch
+// execution; the simulation is identical either way.
+func (n *ShardedNetwork) SetParallel(p bool) { n.Group.SetParallel(p) }
+
+func (n *ShardedNetwork) rands(tag uint64, ids ...uint64) (*rand.Rand, *rand.Rand) {
+	a := append([]uint64{tag}, ids...)
+	ra := rand.New(rand.NewSource(sim.MixSeed(n.seed, append(a, 0)...)))
+	rb := rand.New(rand.NewSource(sim.MixSeed(n.seed, append(a, 1)...)))
+	return ra, rb
+}
+
+// AddSwitch creates a switch on its partition shard and connects it to
+// the shard-0 controller, splitting the control channel across shards
+// when needed. It implements Builder.
+func (n *ShardedNetwork) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dataplane.Switch {
+	if controlLatency == nil {
+		controlLatency = DefaultControlLatency()
+	}
+	s := n.ShardOf(dpid)
+	sw := dataplane.NewSwitch(n.kernels[s], dpid, dataplane.WithMetrics(n.regs[s]))
+	ch := link.NewChannel(n.kernels[s], controlLatency)
+	ra, rb := n.rands(shardTagControl, dpid)
+	ch.SetRands(ra, rb)
+	if s != 0 {
+		ch.Split(n.Group, s, 0, n.kernels[0])
+	}
+	sw.SetControlSender(func(b []byte) { ch.Send(link.EndA, b) })
+	ch.OnReceive(link.EndA, sw.HandleControl)
+	conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
+	ch.OnReceive(link.EndB, conn.Handle)
+	n.switches[dpid] = sw
+	n.controls[dpid] = ch
+	return sw
+}
+
+// AddHost attaches a host on the same shard as its access switch. It
+// implements Builder.
+func (n *ShardedNetwork) AddHost(name string, mac, ip string, dpid uint64, port uint32, latency sim.Sampler, opts ...dataplane.HostOption) *dataplane.Host {
+	sw, ok := n.switches[dpid]
+	if !ok {
+		panic(fmt.Sprintf("netsim: no switch 0x%x", dpid))
+	}
+	s := n.ShardOf(dpid)
+	l := link.NewLink(n.kernels[s], latency)
+	ra, rb := n.rands(shardTagHostLink, dpid, uint64(port))
+	l.SetRands(ra, rb)
+	sw.AddPort(port, l, link.EndA, nil)
+	h := dataplane.NewHost(n.kernels[s], name, packet.MustMAC(mac), packet.MustIPv4(ip), l, link.EndB, opts...)
+	n.hosts[name] = h
+	n.hostLoc[name] = controller.PortRef{DPID: dpid, Port: port}
+	return h
+}
+
+// AddTrunk links two switch ports, splitting the link across shards when
+// the switches are partitioned apart. It implements Builder.
+func (n *ShardedNetwork) AddTrunk(dpidA uint64, portA uint32, dpidB uint64, portB uint32, latency sim.Sampler) *link.Link {
+	swA, okA := n.switches[dpidA]
+	swB, okB := n.switches[dpidB]
+	if !okA || !okB {
+		panic(fmt.Sprintf("netsim: trunk between unknown switches 0x%x 0x%x", dpidA, dpidB))
+	}
+	if latency == nil {
+		latency = TestbedTrunkLatency()
+	}
+	sA, sB := n.ShardOf(dpidA), n.ShardOf(dpidB)
+	l := link.NewLink(n.kernels[sA], latency)
+	ra, rb := n.rands(shardTagTrunk, dpidA, uint64(portA), dpidB, uint64(portB))
+	l.SetRands(ra, rb)
+	if sA != sB {
+		l.Split(n.Group, sA, sB, n.kernels[sB])
+		n.crossTrunks++
+	}
+	swA.AddPort(portA, l, link.EndA, nil)
+	swB.AddPort(portB, l, link.EndB, nil)
+	n.trunks = append(n.trunks, l)
+	return l
+}
+
+// Switch returns a switch by datapath id, or nil.
+func (n *ShardedNetwork) Switch(dpid uint64) *dataplane.Switch { return n.switches[dpid] }
+
+// Host returns a host by name, or nil.
+func (n *ShardedNetwork) Host(name string) *dataplane.Host { return n.hosts[name] }
+
+// HostLocation reports the switch port a host was attached to.
+func (n *ShardedNetwork) HostLocation(name string) controller.PortRef { return n.hostLoc[name] }
+
+// Trunks lists every inter-switch link in creation order.
+func (n *ShardedNetwork) Trunks() []*link.Link {
+	out := make([]*link.Link, len(n.trunks))
+	copy(out, n.trunks)
+	return out
+}
+
+// CrossShardTrunks counts trunks whose endpoints live on different
+// shards — the traffic that pays the epoch-mailbox path.
+func (n *ShardedNetwork) CrossShardTrunks() int { return n.crossTrunks }
+
+// Run advances the whole simulation by d, exchanging cross-shard traffic
+// at lookahead boundaries.
+func (n *ShardedNetwork) Run(d time.Duration) error { return n.Group.RunFor(d) }
+
+// ShardExecuted reports the events executed by one shard (load-balance
+// diagnostics; not shard-count invariant).
+func (n *ShardedNetwork) ShardExecuted(i int) uint64 { return n.Group.ShardExecuted(i) }
+
+// MergedMetrics folds the per-shard registries in shard-ID order into a
+// fresh registry — the same merge discipline exp uses for per-trial
+// registries — and adds the group-wide executed-event total (each send
+// schedules exactly one delivery, so the sum is shard-count invariant,
+// unlike per-kernel queue-depth geometry, which is deliberately not
+// recorded here).
+func (n *ShardedNetwork) MergedMetrics() *obs.Registry {
+	out := obs.MergeAll(n.regs...)
+	out.Counter("sim_events_executed_total").Add(n.Group.Executed())
+	return out
+}
+
+// ShardMetrics exposes one shard's private registry.
+func (n *ShardedNetwork) ShardMetrics(i int) *obs.Registry { return n.regs[i] }
+
+// Shutdown stops controller and switch background tickers so the shard
+// kernels can drain.
+func (n *ShardedNetwork) Shutdown() {
+	n.Controller.Shutdown()
+	for _, sw := range n.switches {
+		sw.Shutdown()
+	}
+}
+
+// FatTreePartition maps a k-ary fat-tree onto the given number of shards:
+// shard 0 holds the controller and the core tier, and the pods are dealt
+// round-robin over shards 1..shards-1. With one shard everything lands on
+// shard 0 (the serial reference). Pods are never divided: intra-pod
+// traffic — the bulk of a fat-tree's dataplane load once flows are
+// installed — stays on one kernel, and only pod↔core trunks and control
+// channels cross shards.
+func FatTreePartition(k, shards int) map[uint64]int {
+	part := make(map[uint64]int)
+	half := k / 2
+	for c := 0; c < half*half; c++ {
+		part[FatTreeCoreDPID(k, c)] = 0
+	}
+	for pod := 0; pod < k; pod++ {
+		s := 0
+		if shards > 1 {
+			s = 1 + pod%(shards-1)
+		}
+		for i := 0; i < half; i++ {
+			part[FatTreeAggDPID(k, pod, i)] = s
+			part[FatTreeEdgeDPID(k, pod, i)] = s
+		}
+	}
+	return part
+}

@@ -135,6 +135,49 @@ func TestScheduleArg(t *testing.T) {
 	}
 }
 
+// TestZeroDelaySchedule pins the kernel contract for zero-delay (and
+// clamped-negative) schedules: the event fires at the current virtual
+// instant, after already-queued same-instant events (seq order), without
+// advancing the clock; a zero-delay event scheduled from inside a
+// callback still fires within the same Run, at the same instant.
+func TestZeroDelaySchedule(t *testing.T) {
+	k := New()
+	var got []string
+	var at []time.Duration
+	k.Schedule(0, func() {
+		got = append(got, "outer")
+		at = append(at, k.Elapsed())
+		k.Schedule(0, func() { // zero delay from inside a callback
+			got = append(got, "nested")
+			at = append(at, k.Elapsed())
+		})
+	})
+	k.Schedule(-time.Second, func() { // negative clamps to zero, queues after
+		got = append(got, "negative")
+		at = append(at, k.Elapsed())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []string{"outer", "negative", "nested"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+	for i, d := range at {
+		if d != 0 {
+			t.Fatalf("event %q fired at %v, want 0", got[i], d)
+		}
+	}
+	if k.Elapsed() != 0 {
+		t.Fatalf("clock advanced to %v on zero-delay work", k.Elapsed())
+	}
+}
+
 // TestTickerAcrossReset: a ticker armed before Reset must stay silent
 // afterwards (its pending event was discarded).
 func TestTickerAcrossReset(t *testing.T) {

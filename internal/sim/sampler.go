@@ -11,8 +11,38 @@ import (
 // models in the repository (link delay, ifconfig execution time, probe
 // processing time, micro-bursts) are expressed as Samplers so experiments
 // can swap distributions without touching component code.
+//
+// Samplers model physical delays, so the composite samplers in this file
+// (Scaled, LogNormal, Burst) clamp their output at zero: a negative
+// Offset, Factor or Shift cannot smuggle a negative duration into
+// schedule arithmetic. The clamp is applied to the final value only — the
+// RNG draw cadence is unchanged, so adding or removing a clamp-triggering
+// configuration never shifts the random stream of a run.
 type Sampler interface {
 	Sample(r *rand.Rand) time.Duration
+}
+
+// MinBounder is implemented by samplers that can state a guaranteed lower
+// bound on every value Sample can return. The sharded kernel uses it to
+// derive the conservative lookahead of cross-shard links.
+type MinBounder interface {
+	MinBound() time.Duration
+}
+
+// SamplerMinBound reports a guaranteed lower bound for the sampler's
+// output, or ok=false when the sampler cannot state one.
+func SamplerMinBound(s Sampler) (time.Duration, bool) {
+	if m, ok := s.(MinBounder); ok {
+		return m.MinBound(), true
+	}
+	return 0, false
+}
+
+func clampNonNegative(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Const is a degenerate sampler that always returns its value.
@@ -20,6 +50,9 @@ type Const time.Duration
 
 // Sample implements Sampler.
 func (c Const) Sample(*rand.Rand) time.Duration { return time.Duration(c) }
+
+// MinBound implements MinBounder.
+func (c Const) MinBound() time.Duration { return time.Duration(c) }
 
 // Normal samples a normal distribution clipped below at Min. The paper
 // models enterprise-network RTT as N(20ms, 5ms) in Section V-B1.
@@ -38,6 +71,9 @@ func (n Normal) Sample(r *rand.Rand) time.Duration {
 	return d
 }
 
+// MinBound implements MinBounder: Sample clips below at Min.
+func (n Normal) MinBound() time.Duration { return n.Min }
+
 // Uniform samples uniformly from [Lo, Hi].
 type Uniform struct {
 	Lo time.Duration
@@ -52,6 +88,9 @@ func (u Uniform) Sample(r *rand.Rand) time.Duration {
 	return u.Lo + time.Duration(r.Int63n(int64(u.Hi-u.Lo)+1))
 }
 
+// MinBound implements MinBounder.
+func (u Uniform) MinBound() time.Duration { return u.Lo }
+
 // LogNormal samples exp(N(Mu, Sigma)) seconds, shifted by Shift. Heavy
 // right tails such as the ifconfig identifier-change time in Figure 4 are
 // modeled with it.
@@ -61,11 +100,16 @@ type LogNormal struct {
 	Shift time.Duration
 }
 
-// Sample implements Sampler.
+// Sample implements Sampler. A negative Shift larger than the drawn value
+// clamps to zero rather than producing a negative duration.
 func (l LogNormal) Sample(r *rand.Rand) time.Duration {
 	secs := math.Exp(l.Mu + l.Sigma*r.NormFloat64())
-	return l.Shift + time.Duration(secs*float64(time.Second))
+	return clampNonNegative(l.Shift + time.Duration(secs*float64(time.Second)))
 }
+
+// MinBound implements MinBounder: the exponential term is positive and
+// the output clamps at zero, so max(Shift, 0) bounds every draw.
+func (l LogNormal) MinBound() time.Duration { return clampNonNegative(l.Shift) }
 
 // Mixture samples from one of several component samplers according to
 // their weights. Useful for "mostly fast, occasionally very slow"
@@ -98,6 +142,26 @@ func (m Mixture) Sample(r *rand.Rand) time.Duration {
 	return m.Components[len(m.Components)-1].Sample(r)
 }
 
+// MinBound implements MinBounder: the minimum over all components, or
+// zero when any component cannot state a bound (or the mixture is empty,
+// where Sample returns zero).
+func (m Mixture) MinBound() time.Duration {
+	if len(m.Components) == 0 || len(m.Components) != len(m.Weights) {
+		return 0
+	}
+	var min time.Duration
+	for i, c := range m.Components {
+		b, ok := SamplerMinBound(c)
+		if !ok {
+			return 0
+		}
+		if i == 0 || b < min {
+			min = b
+		}
+	}
+	return min
+}
+
 // Scaled wraps a base sampler, multiplying every draw by Factor and adding
 // Offset. The chaos layer uses it to inflate a link's latency temporarily
 // (a congestion episode) without replacing the underlying distribution, so
@@ -109,10 +173,22 @@ type Scaled struct {
 	Offset time.Duration
 }
 
-// Sample implements Sampler.
+// Sample implements Sampler. A negative Factor or Offset cannot drive the
+// result below zero.
 func (s Scaled) Sample(r *rand.Rand) time.Duration {
 	d := s.Base.Sample(r)
-	return time.Duration(float64(d)*s.Factor) + s.Offset
+	return clampNonNegative(time.Duration(float64(d)*s.Factor) + s.Offset)
+}
+
+// MinBound implements MinBounder. With a non-negative Factor the base's
+// bound scales through; otherwise only the zero clamp is guaranteed.
+func (s Scaled) MinBound() time.Duration {
+	if s.Factor >= 0 {
+		if b, ok := SamplerMinBound(s.Base); ok && b >= 0 {
+			return clampNonNegative(time.Duration(float64(b)*s.Factor) + s.Offset)
+		}
+	}
+	return 0
 }
 
 // Burst wraps a base sampler and, with probability P, adds an extra delay
@@ -124,13 +200,34 @@ type Burst struct {
 	P     float64
 }
 
-// Sample implements Sampler.
+// Sample implements Sampler. A composition whose Extra draws negative
+// (e.g. a Scaled with negative Offset) clamps at zero.
 func (b Burst) Sample(r *rand.Rand) time.Duration {
 	d := b.Base.Sample(r)
 	if b.Extra != nil && r.Float64() < b.P {
 		d += b.Extra.Sample(r)
 	}
-	return d
+	return clampNonNegative(d)
+}
+
+// MinBound implements MinBounder: min(base, base+extra), clamped at zero
+// like Sample itself.
+func (b Burst) MinBound() time.Duration {
+	base, ok := SamplerMinBound(b.Base)
+	if !ok {
+		return 0
+	}
+	min := base
+	if b.Extra != nil && b.P > 0 {
+		extra, ok := SamplerMinBound(b.Extra)
+		if !ok {
+			return 0
+		}
+		if base+extra < min {
+			min = base + extra
+		}
+	}
+	return clampNonNegative(min)
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) of the sampler's

@@ -130,6 +130,85 @@ func TestBurstSampler(t *testing.T) {
 	}
 }
 
+// TestSamplerNegativeEscapesClamped: compositions that could previously
+// return negative durations (Scaled with negative Offset or Factor,
+// LogNormal with negative Shift, Burst over a negative-offset Scaled)
+// clamp at zero. These values feed Kernel.Schedule and timeout
+// arithmetic, where a negative duration silently becomes "now".
+func TestSamplerNegativeEscapesClamped(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Sampler
+	}{
+		{"scaled negative offset", Scaled{Base: Const(time.Millisecond), Factor: 1, Offset: -time.Second}},
+		{"scaled negative factor", Scaled{Base: Const(time.Millisecond), Factor: -3}},
+		{"lognormal negative shift", LogNormal{Mu: -20, Sigma: 0.1, Shift: -time.Second}},
+		{"burst negative extra", Burst{Base: Const(time.Millisecond), Extra: Scaled{Base: Const(time.Millisecond), Factor: 1, Offset: -time.Second}, P: 1}},
+		{"burst over negative scaled base", Burst{Base: Scaled{Base: Const(0), Factor: 1, Offset: -time.Minute}, P: 0}},
+	}
+	for _, tc := range cases {
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			if d := tc.s.Sample(r); d < 0 {
+				t.Fatalf("%s: sample %d returned %v", tc.name, i, d)
+			}
+		}
+	}
+}
+
+// TestSamplerClampKeepsDrawCadence: the zero clamp must not change how
+// many random numbers a draw consumes, so runs with and without
+// clamp-triggering parameters stay stream-compatible.
+func TestSamplerClampKeepsDrawCadence(t *testing.T) {
+	clamped := Scaled{Base: Normal{Mean: time.Millisecond, Std: 100 * time.Microsecond}, Factor: 1, Offset: -time.Hour}
+	plain := Scaled{Base: Normal{Mean: time.Millisecond, Std: 100 * time.Microsecond}, Factor: 1}
+	ra := rand.New(rand.NewSource(3))
+	rb := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		clamped.Sample(ra)
+		plain.Sample(rb)
+	}
+	if a, b := ra.Int63(), rb.Int63(); a != b {
+		t.Fatalf("RNG streams diverged after clamped draws: %d vs %d", a, b)
+	}
+}
+
+// TestSamplerMinBound pins the guaranteed lower bounds the sharded
+// kernel's lookahead derivation relies on.
+func TestSamplerMinBound(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Sampler
+		want time.Duration
+	}{
+		{"const", Const(5 * time.Millisecond), 5 * time.Millisecond},
+		{"normal", Normal{Mean: 2 * time.Millisecond, Std: time.Millisecond, Min: 500 * time.Microsecond}, 500 * time.Microsecond},
+		{"uniform", Uniform{Lo: 4 * time.Millisecond, Hi: 9 * time.Millisecond}, 4 * time.Millisecond},
+		{"lognormal", LogNormal{Mu: -5, Sigma: 1, Shift: 2 * time.Millisecond}, 2 * time.Millisecond},
+		{"lognormal negative shift", LogNormal{Mu: -5, Sigma: 1, Shift: -time.Second}, 0},
+		{"scaled", Scaled{Base: Const(4 * time.Millisecond), Factor: 2, Offset: time.Millisecond}, 9 * time.Millisecond},
+		{"scaled negative factor", Scaled{Base: Const(4 * time.Millisecond), Factor: -1}, 0},
+		{"burst", Burst{Base: Normal{Mean: 5 * time.Millisecond, Min: 4 * time.Millisecond}, Extra: Uniform{Lo: 5 * time.Millisecond, Hi: 7 * time.Millisecond}, P: 0.02}, 4 * time.Millisecond},
+		{"mixture", Mixture{Components: []Sampler{Const(3 * time.Millisecond), Const(time.Millisecond)}, Weights: []float64{1, 1}}, time.Millisecond},
+	}
+	for _, tc := range cases {
+		got, ok := SamplerMinBound(tc.s)
+		if !ok {
+			t.Fatalf("%s: no bound", tc.name)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: bound = %v, want %v", tc.name, got, tc.want)
+		}
+		// The bound must actually hold over many draws.
+		r := rand.New(rand.NewSource(11))
+		for i := 0; i < 2000; i++ {
+			if d := tc.s.Sample(r); d < got {
+				t.Fatalf("%s: sample %v below stated bound %v", tc.name, d, got)
+			}
+		}
+	}
+}
+
 func TestQuantileOfNormalMatchesTheory(t *testing.T) {
 	n := Normal{Mean: 20 * time.Millisecond, Std: 5 * time.Millisecond}
 	// 99th percentile of N(20, 5) is ~31.6ms; the paper rounds its probe

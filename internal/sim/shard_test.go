@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// pingPong bounces a token between two shards over a simulated
+// cross-shard link of fixed latency, recording each arrival's virtual
+// time, and returns the log. Run serially or in parallel per the flag.
+func pingPong(t *testing.T, parallel bool, rounds int, latency time.Duration) []string {
+	t.Helper()
+	k0, k1 := New(), New()
+	g := NewShardGroup(k0, k1)
+	g.RegisterCrossLatency(latency)
+	g.SetParallel(parallel)
+
+	var log []string
+	var bounce func(any)
+	bounce = func(arg any) {
+		side := arg.(int)
+		k := g.Kernel(side)
+		log = append(log, fmt.Sprintf("shard%d@%v", side, k.Elapsed()))
+		if len(log) < rounds {
+			g.Post(side, 1-side, latency, bounce, 1-side)
+		}
+	}
+	k0.Schedule(0, func() { g.Post(0, 1, latency, bounce, 1) })
+	if err := g.RunFor(time.Duration(rounds+2) * latency); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return log
+}
+
+func TestShardGroupCrossDelivery(t *testing.T) {
+	const latency = 5 * time.Millisecond
+	log := pingPong(t, false, 6, latency)
+	if len(log) != 6 {
+		t.Fatalf("deliveries: %v", log)
+	}
+	for i, entry := range log {
+		want := fmt.Sprintf("shard%d@%v", (i+1)%2, time.Duration(i+1)*latency)
+		if entry != want {
+			t.Fatalf("delivery %d = %q, want %q", i, entry, want)
+		}
+	}
+}
+
+func TestShardGroupParallelMatchesSerial(t *testing.T) {
+	serial := pingPong(t, false, 10, 3*time.Millisecond)
+	par := pingPong(t, true, 10, 3*time.Millisecond)
+	if len(serial) != len(par) {
+		t.Fatalf("serial %d deliveries, parallel %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("delivery %d: serial %q, parallel %q", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestShardGroupFlushOrderBySourceShard: messages from different source
+// shards to the same destination and instant must arrive in
+// source-shard-ID order — the discipline that makes destination
+// schedules independent of goroutine interleaving.
+func TestShardGroupFlushOrderBySourceShard(t *testing.T) {
+	k0, k1, k2 := New(), New(), New()
+	g := NewShardGroup(k0, k1, k2)
+	g.RegisterCrossLatency(time.Millisecond)
+
+	var got []int
+	record := func(arg any) { got = append(got, arg.(int)) }
+	// Post from shard 2 first, then shard 1 — flush must reorder to 1, 2.
+	k2.Schedule(0, func() { g.Post(2, 0, time.Millisecond, record, 2) })
+	k1.Schedule(0, func() { g.Post(1, 0, time.Millisecond, record, 1) })
+	if err := g.RunFor(5 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("arrival order %v, want [1 2]", got)
+	}
+}
+
+func TestShardGroupLookaheadViolation(t *testing.T) {
+	k0, k1 := New(), New()
+	g := NewShardGroup(k0, k1)
+	g.RegisterCrossLatency(10 * time.Millisecond)
+	fired := time.Duration(-1)
+	// A zero-latency post violates the registered 10ms bound: it is due
+	// mid-epoch, before the destination's clock at the flush.
+	k0.Schedule(0, func() {
+		g.Post(0, 1, 0, func(any) { fired = k1.Elapsed() }, nil)
+	})
+	err := g.RunFor(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("no lookahead violation reported")
+	}
+	// The message is clamped to the destination's clock, never delivered
+	// into its past.
+	if fired != 10*time.Millisecond {
+		t.Fatalf("violating message fired at %v, want clamp to first boundary 10ms", fired)
+	}
+}
+
+// TestShardGroupNoCrossLinks: with no registered lookahead the shards run
+// the whole span as one epoch and a final flush still delivers staged
+// messages (pending for the next run window, exactly like a serial
+// kernel's post-deadline events).
+func TestShardGroupNoCrossLinks(t *testing.T) {
+	k0, k1 := New(), New()
+	g := NewShardGroup(k0, k1)
+	ticks0, ticks1 := 0, 0
+	k0.NewTicker(time.Second, func() { ticks0++ })
+	k1.NewTicker(time.Second, func() { ticks1++ })
+	if err := g.RunFor(10 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if ticks0 != 10 || ticks1 != 10 {
+		t.Fatalf("ticks = %d, %d, want 10, 10", ticks0, ticks1)
+	}
+	if k0.Elapsed() != 10*time.Second || k1.Elapsed() != 10*time.Second {
+		t.Fatalf("clocks = %v, %v", k0.Elapsed(), k1.Elapsed())
+	}
+}
+
+func TestShardGroupExecutedInvariant(t *testing.T) {
+	log := pingPong(t, false, 8, 2*time.Millisecond)
+	if len(log) != 8 {
+		t.Fatalf("deliveries: %v", log)
+	}
+}
+
+func TestMixSeed(t *testing.T) {
+	a := MixSeed(42, 0x100, 1)
+	if b := MixSeed(42, 0x100, 1); b != a {
+		t.Fatal("MixSeed not deterministic")
+	}
+	distinct := map[int64]bool{a: true}
+	for _, other := range []int64{
+		MixSeed(42, 0x100, 2),
+		MixSeed(42, 0x101, 1),
+		MixSeed(43, 0x100, 1),
+		MixSeed(42),
+		MixSeed(42, 0x100),
+	} {
+		if distinct[other] {
+			t.Fatalf("seed collision: %d", other)
+		}
+		distinct[other] = true
+	}
+}
