@@ -17,6 +17,7 @@ import (
 	"sdntamper/internal/ids"
 	"sdntamper/internal/link"
 	"sdntamper/internal/lldp"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/probe"
@@ -391,6 +392,37 @@ func BenchmarkSchedule(b *testing.B) {
 		}
 	}
 	// Warm the slot free list and the heap backing array.
+	limit = 256
+	k.Schedule(0, next)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	count, limit = 0, b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Schedule(0, next)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleTraced is BenchmarkSchedule with a span flight
+// recorder attached to the kernel: causal context is captured on every
+// schedule and restored on every fire, but no spans are emitted (the
+// benchmark events carry no trace context), which is the steady-state
+// cost tracing adds to the kernel hot path. It must also stay
+// allocation-free.
+func BenchmarkScheduleTraced(b *testing.B) {
+	k := sim.New(sim.WithEventLimit(^uint64(0)))
+	k.SetTracer(trace.NewRecorder(0))
+	count, limit := 0, 0
+	var next func()
+	next = func() {
+		count++
+		if count < limit {
+			k.Schedule(time.Microsecond, next)
+		}
+	}
 	limit = 256
 	k.Schedule(0, next)
 	if err := k.Run(); err != nil {

@@ -34,6 +34,7 @@ import (
 
 	"sdntamper/internal/core"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/stats"
 )
 
@@ -51,6 +52,7 @@ func run(args []string) error {
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
 	metricsPath := fs.String("metrics", "", "write the obs experiment's metrics snapshot to this file (.csv for CSV, anything else for JSON Lines)")
+	tracePath := fs.String("trace", "", "obs/scale experiments: record causal spans and write them to this file (.jsonl for JSON Lines, anything else for Chrome trace_event JSON)")
 	shards := fs.Int("shards", 0, "scale experiment: shard kernels (0 = legacy single-kernel path at k=4,8)")
 	scaleK := fs.String("scalek", "4,8,16", "scale experiment: comma-separated fat-tree arities (sharded path only)")
 	scaleRounds := fs.Int("scalerounds", 3, "scale experiment: steady-state ping rounds (sharded path only)")
@@ -113,12 +115,12 @@ func run(args []string) error {
 		"secbind":    func(s int64, _ int) error { return printSecBind(s) },
 		"profiles":   func(s int64, _ int) error { return printProfiles(s) },
 		"ablation":   func(s int64, _ int) error { return printAblations(s) },
-		"obs":        func(s int64, _ int) error { return printObs(s, *metricsPath) },
+		"obs":        func(s int64, _ int) error { return printObs(s, *metricsPath, *tracePath) },
 		"chaos": func(s int64, _ int) error {
 			return printChaos(s, *chaosTrials, *workers, *chaosClasses, *chaosOut)
 		},
 		"scale": func(s int64, _ int) error {
-			return printScale(s, *shards, *scaleK, *scaleRounds, *scaleParallel)
+			return printScale(s, *shards, *scaleK, *scaleRounds, *scaleParallel, *tracePath)
 		},
 	}
 
@@ -444,10 +446,14 @@ func printSecBind(seed int64) error {
 // minutes with the full observability stack on: the deterministic metric
 // registry, the structured event bus, and the (wall-clock, hence
 // non-deterministic) kernel profile.
-func printObs(seed int64, metricsPath string) error {
+func printObs(seed int64, metricsPath, tracePath string) error {
 	header("OBSERVABILITY: metrics, events and kernel profile (Fig 9 testbed, TOPOGUARD+)")
 	s := core.NewFig9Testbed(seed, core.TopoGuardPlus())
 	defer s.Close()
+	var recorder *trace.Recorder
+	if tracePath != "" {
+		recorder = s.Net.EnableTrace(0)
+	}
 	profile := obs.NewKernelProfile(s.Net.Kernel, 30*time.Second)
 	if err := s.Run(2 * time.Minute); err != nil {
 		return err
@@ -505,6 +511,34 @@ func printObs(seed int64, metricsPath string) error {
 		}
 		fmt.Printf("\nmetrics snapshot written to %s\n", metricsPath)
 	}
+	if recorder != nil {
+		if err := writeSpans(trace.Merge(recorder), recorder.Dropped(), tracePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSpans exports a canonical span stream to path: JSON Lines for a
+// .jsonl suffix, Chrome trace_event JSON (chrome://tracing, Perfetto)
+// otherwise.
+func writeSpans(spans []trace.Span, dropped uint64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = trace.WriteJSONL(f, spans)
+	} else {
+		err = trace.WriteChrome(f, spans)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d spans written to %s (%d dropped from the ring)\n", len(spans), path, dropped)
 	return nil
 }
 
@@ -513,8 +547,11 @@ func printObs(seed int64, metricsPath string) error {
 // keeps the legacy single-kernel path at k=4 and k=8; with shards >= 1
 // it runs the sharded kernel over the -scalek arities (k=16 builds
 // 320 switches, k=32 builds 1280 — only reachable on the sharded path).
-func printScale(seed int64, shards int, scaleK string, rounds int, parallel bool) error {
+func printScale(seed int64, shards int, scaleK string, rounds int, parallel bool, tracePath string) error {
 	if shards <= 0 {
+		if tracePath != "" {
+			return fmt.Errorf("-trace requires the sharded scale path (-shards >= 1)")
+		}
 		header("SCALE: k-ary fat-tree under TOPOGUARD+ (discovery + cross-pod traffic)")
 		fmt.Printf("%-4s %-10s %-7s %-8s %-8s %-8s %-10s %s\n",
 			"k", "switches", "hosts", "trunks", "links", "pings", "events", "wall")
@@ -539,8 +576,15 @@ func printScale(seed int64, shards int, scaleK string, rounds int, parallel bool
 		shards, parallel, rounds))
 	fmt.Printf("%-4s %-10s %-7s %-8s %-8s %-8s %-8s %-10s %-10s %s\n",
 		"k", "switches", "hosts", "trunks", "xshard", "links", "pings", "events", "lookahead", "wall")
+	var lastTraced *core.ShardedScaleResult
 	for _, k := range ks {
-		r, err := core.RunShardedScale(seed, k, shards, parallel, rounds)
+		var r *core.ShardedScaleResult
+		var err error
+		if tracePath != "" {
+			r, err = core.RunShardedScaleTraced(seed, k, shards, parallel, rounds)
+		} else {
+			r, err = core.RunShardedScale(seed, k, shards, parallel, rounds)
+		}
 		if err != nil {
 			return err
 		}
@@ -548,6 +592,20 @@ func printScale(seed int64, shards int, scaleK string, rounds int, parallel bool
 			r.K, r.Switches, r.Hosts, r.Trunks, r.CrossTrunks, r.DirectedLinks,
 			r.PingsAnswered, r.PingsSent, r.Events, r.Lookahead, r.Wall.Truncate(time.Millisecond))
 		fmt.Printf("     per-shard events: %v  LLI false positives: %d\n", r.ShardEvents, r.LLIAlerts)
+		if tracePath != "" {
+			lastTraced = r
+		}
+	}
+	if lastTraced != nil {
+		if err := writeSpans(lastTraced.Spans, lastTraced.SpansDropped, tracePath); err != nil {
+			return err
+		}
+		fmt.Println("shard health gauges (execution geometry, last arity):")
+		for _, line := range strings.Split(strings.TrimSpace(lastTraced.HealthProm), "\n") {
+			if !strings.HasPrefix(line, "#") {
+				fmt.Printf("  %s\n", line)
+			}
+		}
 	}
 	fmt.Println("(event totals, link and ping outcomes are identical across shard counts;")
 	fmt.Println(" wall time is host-dependent)")

@@ -18,13 +18,16 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served by -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"sdntamper/internal/controller"
 	"sdntamper/internal/lldp"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/rtnet"
 	"sdntamper/internal/sim"
 	"sdntamper/internal/sphinx"
@@ -57,7 +60,8 @@ var defenseStacks = map[string][3]bool{
 func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	fs := flag.NewFlagSet("controllerd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:6653", "listen address for switch connections")
-	httpAddr := fs.String("http", "", "listen address for the observability HTTP endpoint (/metrics, /topology); empty disables")
+	httpAddr := fs.String("http", "", "listen address for the observability HTTP endpoint (/metrics, /topology, /metrics/stream, /trace/stream); empty disables")
+	pprofAddr := fs.String("pprof", "", "listen address for the net/http/pprof profiling endpoint (/debug/pprof/); empty disables")
 	defense := fs.String("defense", "topoguard+", "defense stack: none, topoguard, sphinx, both, topoguard+")
 	profileName := fs.String("profile", "floodlight", "timing profile: floodlight, pox, opendaylight")
 	seed := fs.Int64("seed", 0, "simulation RNG seed (0 derives one from the wall clock)")
@@ -137,12 +141,31 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 	fmt.Fprintf(out, "controllerd listening on %s (profile=%s defense=%s)\n", srv.Addr(), profile.Name, *defense)
 
 	if *httpAddr != "" {
-		httpSrv, ln, err := serveObservability(*httpAddr, ctl, driver)
+		// The flight recorder rides along whenever the HTTP endpoint is
+		// up, so /trace/stream can replay causal spans live. The daemon
+		// runs in real time; the recorder's ring bounds its memory.
+		rec := trace.NewRecorder(0)
+		kernel.SetTracer(rec)
+		ctl.SetTracer(rec)
+		httpSrv, ln, err := serveObservability(*httpAddr, ctl, driver, rec)
 		if err != nil {
 			return err
 		}
 		defer httpSrv.Close()
 		fmt.Fprintf(out, "observability endpoint on http://%s/metrics\n", ln.Addr())
+	}
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		// net/http/pprof registered its handlers on the default mux at
+		// import time; this server exposes only that.
+		pprofSrv := &http.Server{Handler: http.DefaultServeMux}
+		go pprofSrv.Serve(pln)
+		defer pprofSrv.Close()
+		fmt.Fprintf(out, "pprof endpoint on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
 	var ticker *sim.Ticker
@@ -167,7 +190,7 @@ func run(args []string, sig <-chan os.Signal, out io.Writer) error {
 // DOT). Handlers run on arbitrary HTTP goroutines, so every touch of
 // controller or registry state is marshalled onto the kernel goroutine
 // via driver.Call — the registry is not locked, the kernel owns it.
-func serveObservability(addr string, ctl *controller.Controller, driver *rtnet.Driver) (*http.Server, net.Listener, error) {
+func serveObservability(addr string, ctl *controller.Controller, driver *rtnet.Driver, rec *trace.Recorder) (*http.Server, net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
@@ -185,7 +208,99 @@ func serveObservability(addr string, ctl *controller.Controller, driver *rtnet.D
 		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
 		io.WriteString(w, dot)
 	})
+	mux.HandleFunc("/trace/stream", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := sseStart(w)
+		if !ok {
+			return
+		}
+		var cursor uint64
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-ticker.C:
+			}
+			var spans []trace.Span
+			driver.Call(func() { spans, cursor = rec.SpansSince(cursor) })
+			if len(spans) == 0 {
+				io.WriteString(w, ": keepalive\n\n")
+				fl.Flush()
+				continue
+			}
+			var b strings.Builder
+			if err := trace.WriteJSONL(&b, spans); err != nil {
+				return
+			}
+			sseData(w, b.String())
+			fl.Flush()
+		}
+	})
+	mux.HandleFunc("/metrics/stream", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := sseStart(w)
+		if !ok {
+			return
+		}
+		counters := map[string]uint64{}
+		gauges := map[string]int64{}
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-ticker.C:
+			}
+			var snap *obs.Snapshot
+			driver.Call(func() { snap = ctl.Metrics().Snapshot() })
+			var b strings.Builder
+			for _, c := range snap.Counters {
+				if prev, seen := counters[c.Name]; !seen || c.Value != prev {
+					fmt.Fprintf(&b, "{\"name\":%q,\"value\":%d,\"delta\":%d}\n", c.Name, c.Value, c.Value-prev)
+					counters[c.Name] = c.Value
+				}
+			}
+			for _, g := range snap.Gauges {
+				if prev, seen := gauges[g.Name]; !seen || g.Value != prev {
+					fmt.Fprintf(&b, "{\"name\":%q,\"value\":%d,\"delta\":%d}\n", g.Name, g.Value, g.Value-prev)
+					gauges[g.Name] = g.Value
+				}
+			}
+			if b.Len() == 0 {
+				io.WriteString(w, ": keepalive\n\n")
+				fl.Flush()
+				continue
+			}
+			sseData(w, b.String())
+			fl.Flush()
+		}
+	})
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, ln, nil
+}
+
+// sseStart negotiates a server-sent-events response, reporting the
+// flusher the event loop needs.
+func sseStart(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return fl, true
+}
+
+// sseData writes one SSE event whose data lines are the given
+// newline-separated payload (one JSON object per line).
+func sseData(w io.Writer, payload string) {
+	for _, line := range strings.Split(strings.TrimRight(payload, "\n"), "\n") {
+		fmt.Fprintf(w, "data: %s\n", line)
+	}
+	io.WriteString(w, "\n")
 }

@@ -34,6 +34,7 @@ import (
 	"sdntamper/internal/dataplane"
 	"sdntamper/internal/exp"
 	"sdntamper/internal/obs"
+	spantrace "sdntamper/internal/obs/trace"
 	"sdntamper/internal/trace"
 )
 
@@ -48,11 +49,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("topotamper", flag.ContinueOnError)
 	scenarioName := fs.String("scenario", "fig9", "topology: fig1, fig2, fig9")
 	defenseName := fs.String("defense", "topoguard+", "defense stack: none, topoguard, sphinx, both, topoguard+")
-	attackName := fs.String("attack", "oob-amnesia", "attack: none, naive-fabrication, oob-amnesia, inband-amnesia, naive-hijack, port-probing, alert-flood")
+	attackName := fs.String("attack", "oob-amnesia", "attack: none, naive-fabrication, amnesia (alias oob-amnesia), inband-amnesia, naive-hijack, port-probing, alert-flood")
 	duration := fs.Duration("duration", 2*time.Minute, "virtual time to run")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	quiet := fs.Bool("quiet", false, "suppress the controller log, print only the summary")
-	traceFrames := fs.Int("trace", 0, "tap the attacker/victim NICs and print the last N captured frames")
+	tracePath := fs.String("trace", "", "record causal spans and write them to this file (.jsonl for JSON Lines, anything else for Chrome trace_event JSON)")
+	traceFrames := fs.Int("tapframes", 0, "tap the attacker/victim NICs and print the last N captured frames")
 	pcapPath := fs.String("pcap", "", "also write tapped frames to this file in libpcap format")
 	dotPath := fs.String("dot", "", "write the final topology view as Graphviz dot to this file")
 	chaosClass := fs.String("chaos", "", "inject a randomized fault plan of this class after warmup: flap-storm, loss-episode, latency-spike, disconnect")
@@ -84,6 +86,11 @@ func run(args []string) error {
 
 	fmt.Printf("scenario=%s defense=%s attack=%s seed=%d duration=%s\n",
 		*scenarioName, *defenseName, *attackName, *seed, *duration)
+
+	var recorder *spantrace.Recorder
+	if *tracePath != "" {
+		recorder = s.Net.EnableTrace(0)
+	}
 
 	var capture *trace.Log
 	var pcap *trace.Pcap
@@ -167,8 +174,52 @@ func run(args []string) error {
 		}
 		fmt.Printf("topology view written to %s\n", *dotPath)
 	}
+	if recorder != nil {
+		if err := exportSpans(recorder, *tracePath); err != nil {
+			return err
+		}
+	}
 	if err := exportObservability(s.Net.Metrics(), *metricsPath, *eventsPath); err != nil {
 		return err
+	}
+	return nil
+}
+
+// exportSpans writes the flight recorder's span stream to path (.jsonl
+// for JSON Lines, anything else for Chrome trace_event JSON, viewable
+// in chrome://tracing or Perfetto) and prints the causal chain of the
+// first blocked or flagged verdict — the forensic record of how a
+// defense reached its decision.
+func exportSpans(rec *spantrace.Recorder, path string) error {
+	spans := spantrace.Merge(rec)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = spantrace.WriteJSONL(f, spans)
+	} else {
+		err = spantrace.WriteChrome(f, spans)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d spans written to %s (%d dropped from the ring)\n", len(spans), path, rec.Dropped())
+	verdicts := spantrace.FindByName(spans, "verdict.block")
+	if len(verdicts) == 0 {
+		verdicts = spantrace.FindByName(spans, "verdict.flag")
+	}
+	if len(verdicts) > 0 {
+		chain := spantrace.Chain(spans, verdicts[0].ID)
+		names := make([]string, len(chain))
+		for i, sp := range chain {
+			names[i] = sp.Name
+		}
+		fmt.Printf("first adverse verdict (%s) causal chain: %s\n", verdicts[0].Detail, strings.Join(names, " -> "))
+		fmt.Printf("its timeline holds %d spans\n", len(spantrace.Timeline(spans, verdicts[0].ID)))
 	}
 	return nil
 }
@@ -349,12 +400,12 @@ func launchAttack(s *core.Scenario, scenarioName, attackName string, logf func(s
 	switch attackName {
 	case "none":
 		return nil
-	case "naive-fabrication", "oob-amnesia":
+	case "naive-fabrication", "oob-amnesia", "amnesia":
 		if s.OOB == nil || a == nil || b == nil {
 			return fmt.Errorf("%s needs a scenario with colluding hosts and an OOB channel (fig1, fig9)", attackName)
 		}
 		attack.NewOOBFabrication(s.Net.Kernel, a, b, s.OOB, attack.FabricationConfig{
-			UseAmnesia:      attackName == "oob-amnesia",
+			UseAmnesia:      attackName != "naive-fabrication",
 			BridgeDataplane: true,
 		}).Start()
 	case "inband-amnesia":

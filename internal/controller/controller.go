@@ -7,6 +7,7 @@ import (
 
 	"sdntamper/internal/lldp"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sim"
@@ -61,7 +62,13 @@ type Controller struct {
 	hosts       map[packet.MAC]*HostEntry
 	flowModLog  []openflow.FlowMod
 	floodCache  map[uint64]floodEntry
-	pendingLLDP map[PortRef]time.Time
+	pendingLLDP map[PortRef]pendingProbe
+
+	// tracer is the controller shard's span recorder (nil when tracing is
+	// off); traceSeq numbers the controller's spans, which is
+	// shard-invariant because the controller runs whole on one shard.
+	tracer   *trace.Recorder
+	traceSeq uint64
 
 	pendingEchoes     map[uint32]*pendingEcho
 	pendingPathProbes map[uint64]*pendingPathProbe
@@ -139,7 +146,7 @@ func New(kernel *sim.Kernel, opts ...Option) *Controller {
 		linkBorn:          make(map[Link]time.Time),
 		hosts:             make(map[packet.MAC]*HostEntry),
 		floodCache:        make(map[uint64]floodEntry),
-		pendingLLDP:       make(map[PortRef]time.Time),
+		pendingLLDP:       make(map[PortRef]pendingProbe),
 		pendingEchoes:     make(map[uint32]*pendingEcho),
 		pendingPathProbes: make(map[uint64]*pendingPathProbe),
 		pendingHostProbes: make(map[uint16]*pendingHostProbe),
@@ -160,6 +167,27 @@ func (c *Controller) Shutdown() {
 	c.discoveryTicker.Stop()
 	c.sweepTicker.Stop()
 }
+
+// SetTracer attaches the span recorder of the controller's shard and
+// propagates it to the controller's metrics registry, so every defense
+// module bound through API.Metrics() gains the same flight recorder.
+// Nil detaches both.
+func (c *Controller) SetTracer(r *trace.Recorder) {
+	c.tracer = r
+	c.m.reg.SetTracer(r)
+}
+
+// Tracer reports the controller's span recorder, or nil.
+func (c *Controller) Tracer() *trace.Recorder { return c.tracer }
+
+// Span-ID site tags distinguishing the controller's emission points
+// (sequence numbers already make IDs unique; the tags keep derivations
+// self-describing).
+const (
+	traceSiteLLDPEmit = iota + 1
+	traceSitePacketIn
+	traceSiteLLDPFlight
+)
 
 // Disconnect tears down the control connection to a switch, as when the
 // channel drops or the switch reboots. Every pending probe bound to the
@@ -351,6 +379,21 @@ func (c *Controller) handlePacketIn(conn *Conn, msg *openflow.PacketIn) {
 	}
 	c.m.packetIn.Inc()
 	c.event(obs.KindPacket, "packet-in", PortRef{DPID: conn.dpid, Port: msg.InPort}, "")
+	if tr := c.tracer; tr != nil {
+		// Every Packet-In gets a span: chained under the control-channel
+		// hop that carried it when the frame belongs to a traced chain,
+		// a root otherwise (plain dataplane traffic).
+		c.traceSeq++
+		id := trace.MixID(uint64(trace.KindControl), traceSitePacketIn, conn.dpid, uint64(msg.InPort), c.traceSeq)
+		now := tr.Now()
+		tr.Emit(trace.Span{
+			ID: id, Parent: tr.Current(),
+			Start: now, End: now,
+			Kind: trace.KindControl, Name: "packet-in",
+			Entity: conn.dpid, Port: msg.InPort,
+		})
+		tr.SetCurrent(id)
+	}
 	// Internal probe returns never reach modules or services.
 	if eth.Src == pathProbeMAC && eth.Type == pathProbeEtherType {
 		c.resolvePathProbe(eth)

@@ -3,12 +3,25 @@ package controller
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sdntamper/internal/lldp"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
 )
+
+// pendingProbe is one outstanding LLDP emission: when the probe left,
+// and the trace span that recorded it leaving. The span rides the same
+// one-emission-one-receipt lifecycle as the departure timestamp, so a
+// probe's forensic timeline is anchored to ITS emission, never a later
+// one's.
+type pendingProbe struct {
+	at   time.Time
+	span uint64
+}
 
 // runDiscovery emits one LLDP probe per connected switch port, exactly as
 // Floodlight's LinkDiscoveryManager does each discovery interval: a
@@ -43,7 +56,27 @@ func (c *Controller) emitLLDP(dpid uint64, port uint32) {
 	frame := c.BuildLLDP(dpid, port)
 	origin := PortRef{DPID: dpid, Port: port}
 	c.m.lldpSent.Inc()
-	c.pendingLLDP[origin] = c.kernel.Now()
+	tr := c.tracer
+	var rootID, prev uint64
+	if tr != nil {
+		// The emission is the ROOT of the probe's causal chain: the
+		// PacketOut, every dataplane hop, the return Packet-In and the
+		// defense verdicts all descend from it. Current context is saved
+		// and restored so successive probes in one discovery round do not
+		// chain to each other.
+		c.traceSeq++
+		rootID = trace.MixID(uint64(trace.KindControl), traceSiteLLDPEmit, dpid, uint64(port), c.traceSeq)
+		now := tr.Now()
+		tr.Emit(trace.Span{
+			ID:    rootID,
+			Start: now, End: now,
+			Kind: trace.KindControl, Name: "lldp.emit",
+			Entity: dpid, Port: port,
+		})
+		prev = tr.Current()
+		tr.SetCurrent(rootID)
+	}
+	c.pendingLLDP[origin] = pendingProbe{at: c.kernel.Now(), span: rootID}
 	ev := &LLDPSendEvent{Origin: origin, SentAt: c.kernel.Now()}
 	for _, o := range c.lldpObservers {
 		o.ObserveLLDPSend(ev)
@@ -51,6 +84,9 @@ func (c *Controller) emitLLDP(dpid uint64, port uint32) {
 	c.lldpBuf = packet.AppendEthernetHeader(c.lldpBuf[:0], lldp.MulticastMAC, switchPortMAC(dpid, port), packet.EtherTypeLLDP)
 	c.lldpBuf = frame.AppendTo(c.lldpBuf)
 	c.sendPacketOut(dpid, openflow.PortNone, []openflow.Action{openflow.Output(port)}, c.lldpBuf)
+	if tr != nil {
+		tr.SetCurrent(prev)
+	}
 }
 
 // BuildLLDP constructs the LLDP frame the controller would emit for the
@@ -90,13 +126,14 @@ func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
 	}
 	l := Link{Src: src, Dst: dst}
 
+	pend, pending := c.pendingLLDP[src]
 	sentAt := ev.When
 	if c.keychain != nil && frame.Timestamp != nil {
 		if t, err := c.keychain.OpenTimestamp(frame.Timestamp); err == nil {
 			sentAt = t
 		}
-	} else if t, ok := c.pendingLLDP[src]; ok {
-		sentAt = t
+	} else if pending {
+		sentAt = pend.at
 	}
 	// Consume the pending departure timestamp: one emission legitimizes
 	// exactly one receipt. A replayed or delayed copy of this frame must
@@ -111,6 +148,28 @@ func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
 		SentAt:     sentAt,
 		ReceivedAt: ev.When,
 		IsNew:      !exists,
+	}
+	if tr := c.tracer; tr != nil {
+		// The flight span covers the probe's whole emission-to-receipt
+		// interval and parents the verdict spans the approvers are about
+		// to emit. It hangs off the Packet-In that returned the probe
+		// (whose ancestry holds every traced hop); if the frame arrived
+		// outside any traced chain, the recorded emission span anchors it
+		// instead.
+		parent := tr.Current()
+		if parent == 0 {
+			parent = pend.span
+		}
+		c.traceSeq++
+		id := trace.MixID(uint64(trace.KindControl), traceSiteLLDPFlight, src.DPID, uint64(src.Port), c.traceSeq)
+		tr.Emit(trace.Span{
+			ID: id, Parent: parent,
+			Start: int64(sentAt.Sub(sim.Epoch)), End: tr.Now(),
+			Kind: trace.KindControl, Name: "lldp.flight",
+			Entity: src.DPID, Port: src.Port,
+			Detail: l.String(),
+		})
+		tr.SetCurrent(id)
 	}
 	for _, a := range c.linkApprovers {
 		if !a.ApproveLink(linkEv) {
@@ -143,8 +202,8 @@ func (c *Controller) sweepLinks() {
 	c.removeLinksMatching(func(l Link) bool {
 		return now.Sub(c.links[l]) >= c.profile.LinkTimeout
 	}, "timeout")
-	for ref, sent := range c.pendingLLDP {
-		if now.Sub(sent) >= c.profile.LinkTimeout {
+	for ref, pend := range c.pendingLLDP {
+		if now.Sub(pend.at) >= c.profile.LinkTimeout {
 			delete(c.pendingLLDP, ref)
 		}
 	}

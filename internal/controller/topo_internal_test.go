@@ -55,7 +55,7 @@ func TestLLDPReplayDoesNotInheritDepartureTimestamp(t *testing.T) {
 
 	src := PortRef{DPID: 1, Port: 2}
 	emittedAt := k.Now()
-	c.pendingLLDP[src] = emittedAt
+	c.pendingLLDP[src] = pendingProbe{at: emittedAt}
 	if err := k.RunFor(40 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestLLDPReplayDoesNotInheritDepartureTimestamp(t *testing.T) {
 
 func TestSweepAgesOutStalePendingLLDP(t *testing.T) {
 	c, k := newBareController(t)
-	c.pendingLLDP[PortRef{DPID: 1, Port: 2}] = k.Now()
+	c.pendingLLDP[PortRef{DPID: 1, Port: 2}] = pendingProbe{at: k.Now()}
 	// The probe never returns; the periodic sweep must reclaim the entry
 	// once it exceeds the profile's link timeout.
 	if err := k.RunFor(c.profile.LinkTimeout + 2*time.Second); err != nil {

@@ -9,6 +9,7 @@ import (
 	"sdntamper/internal/controller"
 	"sdntamper/internal/dataplane"
 	"sdntamper/internal/netsim"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/tgplus"
 )
 
@@ -73,6 +74,16 @@ type ShardedScaleResult struct {
 	VirtualTime   time.Duration // simulated span
 	Wall          time.Duration // host wall-clock cost (non-deterministic)
 	MetricsProm   string        // merged per-shard registries, Prometheus text
+	HealthProm    string        // per-shard execution-geometry gauges (NOT shard-count invariant)
+
+	// Trace capture (only under RunShardedScaleTraced; zero otherwise).
+	// Spans is the canonical merged stream; SpansDropped counts ring
+	// overwrites, which must be zero for the stream to be shard-count
+	// invariant; ShardSpans counts the spans each shard's own recorder
+	// retained (execution geometry, like ShardEvents).
+	Spans        []trace.Span
+	SpansDropped uint64
+	ShardSpans   []int
 }
 
 // RunShardedScale builds a k-ary fat-tree under TOPOGUARD+ on the given
@@ -82,10 +93,25 @@ type ShardedScaleResult struct {
 // idle timeout, so warmed rounds ride installed flows entirely on the
 // dataplane (pod shards), the workload the sharded kernel parallelizes.
 func RunShardedScale(seed int64, k, shards int, parallel bool, rounds int) (*ShardedScaleResult, error) {
+	return runShardedScale(seed, k, shards, parallel, rounds, false)
+}
+
+// RunShardedScaleTraced is RunShardedScale with per-shard span flight
+// recorders enabled for the whole run; the result carries the merged
+// canonical span stream, which is byte-identical across shard counts as
+// long as SpansDropped is zero.
+func RunShardedScaleTraced(seed int64, k, shards int, parallel bool, rounds int) (*ShardedScaleResult, error) {
+	return runShardedScale(seed, k, shards, parallel, rounds, true)
+}
+
+func runShardedScale(seed int64, k, shards int, parallel bool, rounds int, traced bool) (*ShardedScaleResult, error) {
 	wallStart := time.Now()
 	s, topo := NewShardedFatTreeScenario(seed, k, shards, TopoGuardPlus())
 	defer s.Close()
 	s.Net.SetParallel(parallel)
+	if traced {
+		s.Net.EnableTrace(0)
+	}
 
 	res := &ShardedScaleResult{
 		K:           k,
@@ -166,5 +192,18 @@ func RunShardedScale(seed int64, k, shards int, parallel bool, rounds int) (*Sha
 		return nil, err
 	}
 	res.MetricsProm = b.String()
+	var hb strings.Builder
+	if err := s.Net.HealthMetrics().Snapshot().WritePrometheus(&hb); err != nil {
+		return nil, err
+	}
+	res.HealthProm = hb.String()
+	if traced {
+		res.Spans = s.Net.MergedSpans()
+		for i := 0; i < shards; i++ {
+			tr := s.Net.ShardTracer(i)
+			res.SpansDropped += tr.Dropped()
+			res.ShardSpans = append(res.ShardSpans, len(tr.Spans()))
+		}
+	}
 	return res, nil
 }

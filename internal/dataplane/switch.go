@@ -6,6 +6,7 @@ import (
 
 	"sdntamper/internal/link"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/openflow"
 	"sdntamper/internal/sim"
 )
@@ -73,7 +74,32 @@ func (p *Port) ReceiveFrame(data []byte) {
 	p.rxPackets++
 	p.rxBytes += uint64(len(data))
 	p.mRx.Inc()
+	if p.sw.tracer != nil {
+		p.traceFrame("port.rx", 0, p.rxPackets)
+	}
 	p.sw.handleFrame(p, data)
+}
+
+// traceFrame marks a frame's transit through this port when it belongs
+// to a live traced chain. The span ID mixes the port's identity, the
+// direction, and the port's own packet counter — all invariant under
+// resharding. Frames outside any chain emit nothing, so the recorder
+// never fills with background traffic.
+func (p *Port) traceFrame(name string, dir, seq uint64) {
+	tr := p.sw.tracer
+	parent := tr.Current()
+	if parent == 0 {
+		return
+	}
+	now := tr.Now()
+	id := trace.MixID(uint64(trace.KindData), p.sw.dpid, uint64(p.no), dir, seq)
+	tr.Emit(trace.Span{
+		ID: id, Parent: parent,
+		Start: now, End: now,
+		Kind: trace.KindData, Name: name,
+		Entity: p.sw.dpid, Port: p.no,
+	})
+	tr.SetCurrent(id)
 }
 
 // CarrierChange implements link.Attachment: it runs the 802.3 link-pulse
@@ -113,6 +139,9 @@ func (p *Port) send(data []byte) {
 	p.txPackets++
 	p.txBytes += uint64(len(data))
 	p.mTx.Inc()
+	if p.sw.tracer != nil {
+		p.traceFrame("port.tx", 1, p.txPackets)
+	}
 	p.ep.Send(data)
 }
 
@@ -130,6 +159,7 @@ type Switch struct {
 	handshook   bool
 	expiry      *sim.Ticker
 	metrics     *obs.Registry
+	tracer      *trace.Recorder
 
 	// txBuf is the control-plane transmit scratch buffer: every outgoing
 	// OpenFlow message is marshaled into it in place, so steady-state
@@ -169,6 +199,12 @@ func NewSwitch(kernel *sim.Kernel, dpid uint64, opts ...SwitchOption) *Switch {
 
 // Shutdown stops the switch's background flow-expiry ticker.
 func (s *Switch) Shutdown() { s.expiry.Stop() }
+
+// SetTracer attaches the span recorder of the switch's shard. Frame
+// paths emit port.rx/port.tx spans only for frames inside a traced
+// causal chain; with no tracer the paths keep their zero-allocation,
+// single-branch cost.
+func (s *Switch) SetTracer(r *trace.Recorder) { s.tracer = r }
 
 // DPID reports the datapath id.
 func (s *Switch) DPID() uint64 { return s.dpid }

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
+)
+
+// tracedTrial couples one trial's result with its private registry and
+// captured span stream while the triple rides through Grid.
+type tracedTrial[R any] struct {
+	result  R
+	metrics *obs.Registry
+	spans   []trace.Span
+}
+
+// RunTraced executes trial once per seed like RunInstrumented, with each
+// trial additionally returning the spans its private flight recorder
+// captured. Registries merge in seed order; span streams concatenate in
+// seed order and then sort into the canonical (Start, End, ID) export
+// order, so both aggregates are byte-identical regardless of the worker
+// count. Span IDs are unique within one trial (they mix entity identity
+// and per-entity sequence numbers, not the seed), so forensic walks —
+// Timeline, Chain — must run on a single trial's spans; the merged
+// stream is for archival export.
+func RunTraced[R any](seeds []int64, workers int, trial func(seed int64) (R, *obs.Registry, []trace.Span, error)) ([]R, *obs.Registry, []trace.Span, error) {
+	return GridTraced(seeds, workers, trial)
+}
+
+// GridTraced is RunTraced generalized over arbitrary work items, the
+// trace counterpart of GridInstrumented.
+func GridTraced[T, R any](items []T, workers int, fn func(item T) (R, *obs.Registry, []trace.Span, error)) ([]R, *obs.Registry, []trace.Span, error) {
+	wrapped, err := Grid(items, workers, func(item T) (tracedTrial[R], error) {
+		r, reg, spans, err := fn(item)
+		return tracedTrial[R]{result: r, metrics: reg, spans: spans}, err
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	results := make([]R, len(wrapped))
+	regs := make([]*obs.Registry, len(wrapped))
+	var total int
+	for _, w := range wrapped {
+		total += len(w.spans)
+	}
+	spans := make([]trace.Span, 0, total)
+	for i, w := range wrapped {
+		results[i] = w.result
+		regs[i] = w.metrics
+		spans = append(spans, w.spans...)
+	}
+	trace.SortSpans(spans)
+	return results, obs.MergeAll(regs...), spans, nil
+}

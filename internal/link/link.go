@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/sim"
 )
 
@@ -53,10 +54,17 @@ func (e End) other() End {
 
 // frameDelivery is the in-flight state of one Link.Send, pooled on the
 // owning link so steady-state forwarding does not allocate it per frame.
+// The span fields carry the traversal's trace identity from the sending
+// shard to the receiving one — the pooled struct IS the cross-shard
+// span handoff, so a traced chain survives the epoch mailbox with its
+// parent intact.
 type frameDelivery struct {
-	l    *Link
-	from End
-	buf  []byte
+	l       *Link
+	from    End
+	buf     []byte
+	spanID  uint64
+	parent  uint64
+	startNs int64
 }
 
 // deliverFrame completes a frame traversal. It is a package-level func so
@@ -66,8 +74,12 @@ type frameDelivery struct {
 func deliverFrame(arg any) {
 	d := arg.(*frameDelivery)
 	l, from, buf := d.l, d.from, d.buf
+	spanID, parent, startNs := d.spanID, d.parent, d.startNs
 	d.l, d.buf = nil, nil
 	l.free = append(l.free, d)
+	if spanID != 0 {
+		l.emitFrameSpan(from, spanID, parent, startNs)
+	}
 	if peer := l.peer(from); peer != nil && l.carrier(from.other()) && l.carrier(from) {
 		peer.ReceiveFrame(buf)
 	}
@@ -78,6 +90,9 @@ func deliverFrame(arg any) {
 // is never recycled into the link's (single-shard) free list.
 func deliverFrameSplit(arg any) {
 	d := arg.(*frameDelivery)
+	if d.spanID != 0 {
+		d.l.emitFrameSpan(d.from, d.spanID, d.parent, d.startNs)
+	}
 	if peer := d.l.peer(d.from); peer != nil {
 		peer.ReceiveFrame(d.buf)
 	}
@@ -117,6 +132,16 @@ type Link struct {
 	rngA     *rand.Rand
 	rngB     *rand.Rand
 	split    *splitState
+
+	// Trace wiring: the link's identity hash plus one recorder per end
+	// (the recorder of the shard that end lives on; identical for
+	// unsplit links). Per-direction sequence counters number traced
+	// sends, so a frame's span ID depends only on the link's identity
+	// and its position in that direction's traced traffic — never on
+	// shard placement.
+	trEnt      uint64
+	trA, trB   *trace.Recorder
+	seqA, seqB uint64
 }
 
 // NewLink creates a link whose per-frame one-way delay is drawn from
@@ -162,6 +187,73 @@ func (l *Link) CarrierUp(end End) bool { return l.carrier(end) }
 // byte-identical across shard counts.
 func (l *Link) SetRands(a, b *rand.Rand) {
 	l.rngA, l.rngB = a, b
+}
+
+// SetTraceEntity assigns the link's identity hash for span derivation
+// (networks set it at creation from the link's endpoint identities).
+func (l *Link) SetTraceEntity(ent uint64) { l.trEnt = ent }
+
+// SetTraceRecorders wires the per-end span recorders (end A's shard and
+// end B's shard; pass the same recorder twice for an unsplit link).
+// Frames traverse with a span only while the sending side carries a
+// live trace context, so an un-enabled recorder costs one nil-or-zero
+// check per send.
+func (l *Link) SetTraceRecorders(a, b *trace.Recorder) {
+	l.trA, l.trB = a, b
+}
+
+// recFrom is the sending side's recorder; recTo the receiving side's.
+func (l *Link) recFrom(from End) *trace.Recorder {
+	if from == EndA {
+		return l.trA
+	}
+	return l.trB
+}
+
+func (l *Link) recTo(from End) *trace.Recorder {
+	if from == EndA {
+		return l.trB
+	}
+	return l.trA
+}
+
+// frameSpan derives the span identity of one traced send, or zeros when
+// the send is outside any traced causal chain.
+func (l *Link) frameSpan(from End) (spanID, parent uint64, startNs int64) {
+	rec := l.recFrom(from)
+	if rec == nil {
+		return 0, 0, 0
+	}
+	parent = rec.Current()
+	if parent == 0 {
+		return 0, 0, 0
+	}
+	var seq uint64
+	if from == EndA {
+		l.seqA++
+		seq = l.seqA
+	} else {
+		l.seqB++
+		seq = l.seqB
+	}
+	return trace.MixID(uint64(trace.KindLink), l.trEnt, uint64(from), seq), parent, rec.Now()
+}
+
+// emitFrameSpan records the wire traversal on the receiving shard's
+// recorder and makes it the current context so the receive path chains
+// under it.
+func (l *Link) emitFrameSpan(from End, id, parent uint64, startNs int64) {
+	rec := l.recTo(from)
+	if rec == nil {
+		return
+	}
+	rec.Emit(trace.Span{
+		ID: id, Parent: parent,
+		Start: startNs, End: rec.Now(),
+		Kind: trace.KindLink, Name: "link.frame",
+		Entity: l.trEnt, Port: uint32(from),
+	})
+	rec.SetCurrent(id)
 }
 
 // rng selects the RNG stream for a send from the given end.
@@ -278,9 +370,11 @@ func (l *Link) Send(from End, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	delay := l.latency.Sample(r)
+	spanID, parent, startNs := l.frameSpan(from)
 	if s := l.split; s != nil {
 		src, dst := s.route(from)
-		s.group.Post(src, dst, delay, deliverFrameSplit, &frameDelivery{l: l, from: from, buf: buf})
+		s.group.Post(src, dst, delay, deliverFrameSplit,
+			&frameDelivery{l: l, from: from, buf: buf, spanID: spanID, parent: parent, startNs: startNs})
 		return
 	}
 	var d *frameDelivery
@@ -291,6 +385,7 @@ func (l *Link) Send(from End, data []byte) {
 		d = &frameDelivery{}
 	}
 	d.l, d.from, d.buf = l, from, buf
+	d.spanID, d.parent, d.startNs = spanID, parent, startNs
 	l.kernel.ScheduleArg(delay, deliverFrame, d)
 }
 
@@ -361,13 +456,23 @@ type Channel struct {
 	rngA     *rand.Rand
 	rngB     *rand.Rand
 	split    *splitState
+
+	// Trace wiring; see the Link fields of the same names.
+	trEnt      uint64
+	trA, trB   *trace.Recorder
+	seqA, seqB uint64
 }
 
-// msgDelivery is the pooled in-flight state of one Channel.Send.
+// msgDelivery is the pooled in-flight state of one Channel.Send. Like
+// frameDelivery, the span fields carry a traced chain's identity across
+// the shard boundary.
 type msgDelivery struct {
-	c    *Channel
-	from End
-	buf  []byte
+	c       *Channel
+	from    End
+	buf     []byte
+	spanID  uint64
+	parent  uint64
+	startNs int64
 }
 
 // deliverMsg completes a channel send; like deliverFrame it recycles the
@@ -375,8 +480,12 @@ type msgDelivery struct {
 func deliverMsg(arg any) {
 	d := arg.(*msgDelivery)
 	c, from, buf := d.c, d.from, d.buf
+	spanID, parent, startNs := d.spanID, d.parent, d.startNs
 	d.c, d.buf = nil, nil
 	c.free = append(c.free, d)
+	if spanID != 0 {
+		c.emitMsgSpan(from, spanID, parent, startNs)
+	}
 	var fn func([]byte)
 	if from == EndA {
 		fn = c.onB
@@ -392,6 +501,9 @@ func deliverMsg(arg any) {
 // deliverFrameSplit it never touches the single-shard free list.
 func deliverMsgSplit(arg any) {
 	d := arg.(*msgDelivery)
+	if d.spanID != 0 {
+		d.c.emitMsgSpan(d.from, d.spanID, d.parent, d.startNs)
+	}
 	var fn func([]byte)
 	if d.from == EndA {
 		fn = d.c.onB
@@ -438,6 +550,68 @@ func (c *Channel) SetLossRate(p float64) {
 // Link.SetRands for the shard-count-invariance rationale.
 func (c *Channel) SetRands(a, b *rand.Rand) {
 	c.rngA, c.rngB = a, b
+}
+
+// SetTraceEntity assigns the channel's identity hash for span
+// derivation; see Link.SetTraceEntity.
+func (c *Channel) SetTraceEntity(ent uint64) { c.trEnt = ent }
+
+// SetTraceRecorders wires the per-end span recorders; see
+// Link.SetTraceRecorders.
+func (c *Channel) SetTraceRecorders(a, b *trace.Recorder) {
+	c.trA, c.trB = a, b
+}
+
+func (c *Channel) recFrom(from End) *trace.Recorder {
+	if from == EndA {
+		return c.trA
+	}
+	return c.trB
+}
+
+func (c *Channel) recTo(from End) *trace.Recorder {
+	if from == EndA {
+		return c.trB
+	}
+	return c.trA
+}
+
+// msgSpan derives the span identity of one traced channel send; see
+// Link.frameSpan.
+func (c *Channel) msgSpan(from End) (spanID, parent uint64, startNs int64) {
+	rec := c.recFrom(from)
+	if rec == nil {
+		return 0, 0, 0
+	}
+	parent = rec.Current()
+	if parent == 0 {
+		return 0, 0, 0
+	}
+	var seq uint64
+	if from == EndA {
+		c.seqA++
+		seq = c.seqA
+	} else {
+		c.seqB++
+		seq = c.seqB
+	}
+	return trace.MixID(uint64(trace.KindLink), c.trEnt, uint64(from), seq), parent, rec.Now()
+}
+
+// emitMsgSpan records the control-channel traversal on the receiving
+// shard's recorder; see Link.emitFrameSpan.
+func (c *Channel) emitMsgSpan(from End, id, parent uint64, startNs int64) {
+	rec := c.recTo(from)
+	if rec == nil {
+		return
+	}
+	rec.Emit(trace.Span{
+		ID: id, Parent: parent,
+		Start: startNs, End: rec.Now(),
+		Kind: trace.KindLink, Name: "chan.msg",
+		Entity: c.trEnt, Port: uint32(from),
+	})
+	rec.SetCurrent(id)
 }
 
 func (c *Channel) rng(from End) *rand.Rand {
@@ -534,9 +708,11 @@ func (c *Channel) Send(from End, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	delay := c.latency.Sample(r)
+	spanID, parent, startNs := c.msgSpan(from)
 	if s := c.split; s != nil {
 		src, dst := s.route(from)
-		s.group.Post(src, dst, delay, deliverMsgSplit, &msgDelivery{c: c, from: from, buf: buf})
+		s.group.Post(src, dst, delay, deliverMsgSplit,
+			&msgDelivery{c: c, from: from, buf: buf, spanID: spanID, parent: parent, startNs: startNs})
 		return
 	}
 	var d *msgDelivery
@@ -547,6 +723,7 @@ func (c *Channel) Send(from End, data []byte) {
 		d = &msgDelivery{}
 	}
 	d.c, d.from, d.buf = c, from, buf
+	d.spanID, d.parent, d.startNs = spanID, parent, startNs
 	c.kernel.ScheduleArg(delay, deliverMsg, d)
 }
 

@@ -13,6 +13,7 @@ import (
 	"sdntamper/internal/dataplane"
 	"sdntamper/internal/link"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sim"
 )
@@ -48,8 +49,11 @@ type Network struct {
 	// trunks records every inter-switch link in creation order and
 	// controls the per-switch control channel, so fault injectors can
 	// enumerate and degrade them without holding their own references.
-	trunks   []*link.Link
-	controls map[uint64]*link.Channel
+	trunks    []*link.Link
+	hostLinks []*link.Link
+	controls  map[uint64]*link.Channel
+
+	tracer *trace.Recorder
 }
 
 // New creates an empty network with a controller using the given options
@@ -76,6 +80,40 @@ func New(seed int64, ctlOpts ...controller.Option) *Network {
 // Metrics exposes the network-wide observability registry.
 func (n *Network) Metrics() *obs.Registry { return n.metrics }
 
+// EnableTrace attaches a span flight recorder of the given capacity
+// (<= 0 for trace.DefaultCapacity) to the kernel, the controller, every
+// switch and every link or channel — existing and future. Idempotent:
+// repeated calls return the same recorder. Until called, every trace
+// hook in the network is a nil check and the hot paths stay
+// allocation-free.
+func (n *Network) EnableTrace(capacity int) *trace.Recorder {
+	if n.tracer != nil {
+		return n.tracer
+	}
+	r := trace.NewRecorder(capacity)
+	n.tracer = r
+	n.Kernel.SetTracer(r)
+	n.Controller.SetTracer(r)
+	n.metrics.SetTracer(r)
+	for _, sw := range n.switches {
+		sw.SetTracer(r)
+	}
+	for _, ch := range n.controls {
+		ch.SetTraceRecorders(r, r)
+	}
+	for _, l := range n.trunks {
+		l.SetTraceRecorders(r, r)
+	}
+	for _, l := range n.hostLinks {
+		l.SetTraceRecorders(r, r)
+	}
+	return r
+}
+
+// Tracer reports the network's span recorder, or nil while tracing is
+// disabled.
+func (n *Network) Tracer() *trace.Recorder { return n.tracer }
+
 // AddSwitch creates a switch and connects it to the controller over a
 // control channel with the given latency (nil for the default).
 func (n *Network) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dataplane.Switch {
@@ -84,6 +122,11 @@ func (n *Network) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dataplane.
 	}
 	sw := dataplane.NewSwitch(n.Kernel, dpid, dataplane.WithMetrics(n.metrics))
 	ch := link.NewChannel(n.Kernel, controlLatency)
+	ch.SetTraceEntity(uint64(sim.MixSeed(0, shardTagControl, dpid)))
+	if n.tracer != nil {
+		sw.SetTracer(n.tracer)
+		ch.SetTraceRecorders(n.tracer, n.tracer)
+	}
 	sw.SetControlSender(func(b []byte) { ch.Send(link.EndA, b) })
 	ch.OnReceive(link.EndA, sw.HandleControl)
 	conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
@@ -154,10 +197,15 @@ func (n *Network) AddHost(name string, mac, ip string, dpid uint64, port uint32,
 		panic(fmt.Sprintf("netsim: no switch 0x%x", dpid))
 	}
 	l := link.NewLink(n.Kernel, latency)
+	l.SetTraceEntity(uint64(sim.MixSeed(0, shardTagHostLink, dpid, uint64(port))))
+	if n.tracer != nil {
+		l.SetTraceRecorders(n.tracer, n.tracer)
+	}
 	sw.AddPort(port, l, link.EndA, nil)
 	h := dataplane.NewHost(n.Kernel, name, packet.MustMAC(mac), packet.MustIPv4(ip), l, link.EndB, opts...)
 	n.hosts[name] = h
 	n.hostLoc[name] = controller.PortRef{DPID: dpid, Port: port}
+	n.hostLinks = append(n.hostLinks, l)
 	return h
 }
 
@@ -186,6 +234,10 @@ func (n *Network) AddTrunk(dpidA uint64, portA uint32, dpidB uint64, portB uint3
 		latency = TestbedTrunkLatency()
 	}
 	l := link.NewLink(n.Kernel, latency)
+	l.SetTraceEntity(uint64(sim.MixSeed(0, shardTagTrunk, dpidA, uint64(portA), dpidB, uint64(portB))))
+	if n.tracer != nil {
+		l.SetTraceRecorders(n.tracer, n.tracer)
+	}
 	swA.AddPort(portA, l, link.EndA, nil)
 	swB.AddPort(portB, l, link.EndB, nil)
 	n.trunks = append(n.trunks, l)

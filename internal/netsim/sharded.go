@@ -9,6 +9,7 @@ import (
 	"sdntamper/internal/dataplane"
 	"sdntamper/internal/link"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/packet"
 	"sdntamper/internal/sim"
 )
@@ -56,6 +57,23 @@ type ShardedNetwork struct {
 	controls    map[uint64]*link.Channel
 	trunks      []*link.Link
 	crossTrunks int
+
+	// tracers holds one flight recorder per shard once EnableTrace runs
+	// (nil before); tracedLinks/tracedChans remember each entity's
+	// endpoint shards so late enablement can wire the right recorders.
+	tracers     []*trace.Recorder
+	tracedLinks []tracedLink
+	tracedChans []tracedChan
+}
+
+type tracedLink struct {
+	l      *link.Link
+	sA, sB int
+}
+
+type tracedChan struct {
+	c      *link.Channel
+	sA, sB int
 }
 
 // NewSharded creates an empty sharded network of the given shard count.
@@ -124,6 +142,12 @@ func (n *ShardedNetwork) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dat
 	ch := link.NewChannel(n.kernels[s], controlLatency)
 	ra, rb := n.rands(shardTagControl, dpid)
 	ch.SetRands(ra, rb)
+	ch.SetTraceEntity(uint64(sim.MixSeed(0, shardTagControl, dpid)))
+	n.tracedChans = append(n.tracedChans, tracedChan{c: ch, sA: s, sB: 0})
+	if n.tracers != nil {
+		sw.SetTracer(n.tracers[s])
+		ch.SetTraceRecorders(n.tracers[s], n.tracers[0])
+	}
 	if s != 0 {
 		ch.Split(n.Group, s, 0, n.kernels[0])
 	}
@@ -147,6 +171,11 @@ func (n *ShardedNetwork) AddHost(name string, mac, ip string, dpid uint64, port 
 	l := link.NewLink(n.kernels[s], latency)
 	ra, rb := n.rands(shardTagHostLink, dpid, uint64(port))
 	l.SetRands(ra, rb)
+	l.SetTraceEntity(uint64(sim.MixSeed(0, shardTagHostLink, dpid, uint64(port))))
+	n.tracedLinks = append(n.tracedLinks, tracedLink{l: l, sA: s, sB: s})
+	if n.tracers != nil {
+		l.SetTraceRecorders(n.tracers[s], n.tracers[s])
+	}
 	sw.AddPort(port, l, link.EndA, nil)
 	h := dataplane.NewHost(n.kernels[s], name, packet.MustMAC(mac), packet.MustIPv4(ip), l, link.EndB, opts...)
 	n.hosts[name] = h
@@ -169,6 +198,11 @@ func (n *ShardedNetwork) AddTrunk(dpidA uint64, portA uint32, dpidB uint64, port
 	l := link.NewLink(n.kernels[sA], latency)
 	ra, rb := n.rands(shardTagTrunk, dpidA, uint64(portA), dpidB, uint64(portB))
 	l.SetRands(ra, rb)
+	l.SetTraceEntity(uint64(sim.MixSeed(0, shardTagTrunk, dpidA, uint64(portA), dpidB, uint64(portB))))
+	n.tracedLinks = append(n.tracedLinks, tracedLink{l: l, sA: sA, sB: sB})
+	if n.tracers != nil {
+		l.SetTraceRecorders(n.tracers[sA], n.tracers[sB])
+	}
 	if sA != sB {
 		l.Split(n.Group, sA, sB, n.kernels[sB])
 		n.crossTrunks++
@@ -221,6 +255,74 @@ func (n *ShardedNetwork) MergedMetrics() *obs.Registry {
 
 // ShardMetrics exposes one shard's private registry.
 func (n *ShardedNetwork) ShardMetrics(i int) *obs.Registry { return n.regs[i] }
+
+// EnableTrace attaches one span flight recorder per shard (capacity
+// <= 0 for trace.DefaultCapacity) to the shard kernels, the shard-0
+// controller, every switch and every link or channel — existing and
+// future. Span identities mix only entity IDs and per-entity sequence
+// numbers, so trace.Merge over the per-shard recorders yields a
+// byte-identical stream across shard counts, mirroring MergedMetrics.
+// Idempotent.
+func (n *ShardedNetwork) EnableTrace(capacity int) {
+	if n.tracers != nil {
+		return
+	}
+	n.tracers = make([]*trace.Recorder, len(n.kernels))
+	for i, k := range n.kernels {
+		n.tracers[i] = trace.NewRecorder(capacity)
+		k.SetTracer(n.tracers[i])
+	}
+	n.Controller.SetTracer(n.tracers[0])
+	for dpid, sw := range n.switches {
+		sw.SetTracer(n.tracers[n.ShardOf(dpid)])
+	}
+	for _, tc := range n.tracedChans {
+		tc.c.SetTraceRecorders(n.tracers[tc.sA], n.tracers[tc.sB])
+	}
+	for _, tl := range n.tracedLinks {
+		tl.l.SetTraceRecorders(n.tracers[tl.sA], n.tracers[tl.sB])
+	}
+}
+
+// ShardTracer reports shard i's flight recorder, or nil while tracing
+// is disabled.
+func (n *ShardedNetwork) ShardTracer(i int) *trace.Recorder {
+	if n.tracers == nil {
+		return nil
+	}
+	return n.tracers[i]
+}
+
+// MergedSpans gathers every shard's retained spans in the canonical
+// (Start, End, ID) order — byte-identical across shard counts when
+// rendered with the trace writers.
+func (n *ShardedNetwork) MergedSpans() []trace.Span {
+	if n.tracers == nil {
+		return nil
+	}
+	return trace.Merge(n.tracers...)
+}
+
+// HealthMetrics renders the per-shard execution-geometry gauges (event
+// queue depth and peak, epoch barrier stall, cross-shard mailbox peak,
+// per-shard executed events) into a fresh registry in shard-ID order.
+// These gauges describe HOW the run was partitioned — they vary with
+// shard count and the stall is wall-clock — so they live in this
+// separate health registry, never in the deterministic MergedMetrics
+// snapshot.
+func (n *ShardedNetwork) HealthMetrics() *obs.Registry {
+	reg := obs.NewRegistry()
+	for i := range n.kernels {
+		h := n.Group.Health(i)
+		labels := fmt.Sprintf("{shard=\"%d\"}", i)
+		reg.Gauge("shard_event_queue_depth" + labels).Set(int64(h.QueueDepth))
+		reg.Gauge("shard_event_queue_peak" + labels).Set(int64(h.QueuePeak))
+		reg.Gauge("shard_epoch_stall_wall_ns_total" + labels).Set(h.EpochStallNs)
+		reg.Gauge("shard_mailbox_backlog_peak" + labels).Set(int64(h.MailboxPeak))
+		reg.Gauge("shard_events_executed" + labels).Set(int64(n.Group.ShardExecuted(i)))
+	}
+	return reg
+}
 
 // Shutdown stops controller and switch background tickers so the shard
 // kernels can drain.

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/stats"
 )
 
@@ -153,6 +154,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	bus      *Bus
+	tracer   *trace.Recorder
 }
 
 // NewRegistry creates an empty registry with an event bus of the default
@@ -209,6 +211,19 @@ func (r *Registry) HistogramWithBuckets(name string, bounds []time.Duration) *Hi
 
 // Events exposes the registry's event bus.
 func (r *Registry) Events() *Bus { return r.bus }
+
+// SetTracer attaches a span recorder to the registry, giving every
+// consumer that already holds the registry (notably the Verdicts
+// families the defenses bind) a path to the flight recorder without new
+// plumbing. Nil detaches. The tracer is NOT part of snapshots or
+// Merge — spans merge through trace.Merge with their own ordering
+// contract.
+func (r *Registry) SetTracer(t *trace.Recorder) { r.tracer = t }
+
+// Tracer reports the attached span recorder, or nil. Callers must read
+// it at use time, not cache it at bind time: tracing is typically
+// enabled after the network (and its defenses) are fully built.
+func (r *Registry) Tracer() *trace.Recorder { return r.tracer }
 
 // counterNames returns the counter names sorted.
 func (r *Registry) counterNames() []string {

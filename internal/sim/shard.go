@@ -27,15 +27,42 @@ type ShardGroup struct {
 	pending  [][]crossMsg
 	parallel bool
 	firstErr error
+	health   []ShardHealth
 }
 
 // crossMsg is one staged cross-shard delivery: fn(arg) runs on the
-// destination kernel at absolute virtual offset dueNs.
+// destination kernel at absolute virtual offset dueNs. span is the
+// trace context captured on the source shard at Post time, stamped
+// onto the destination event at flush so a causal chain crosses the
+// epoch boundary with its parent intact.
 type crossMsg struct {
 	dst   int
 	dueNs int64
 	fn    func(any)
 	arg   any
+	span  uint64
+}
+
+// ShardHealth is one shard's execution-geometry gauges: how deep its
+// event queue ran, how long it waited at epoch barriers, and how many
+// cross-shard messages it staged. All three describe HOW the work was
+// partitioned, not WHAT was simulated — queue depth and mailbox
+// backlog vary with shard count and the stall is wall-clock — so they
+// are exported through a separate health registry, never the merged
+// deterministic snapshot.
+type ShardHealth struct {
+	// QueueDepth is the shard's pending-event count at the last epoch
+	// boundary.
+	QueueDepth int
+	// QueuePeak is the highest boundary queue depth seen.
+	QueuePeak int
+	// EpochStallNs is the cumulative wall nanoseconds this shard's
+	// worker spent finished-and-waiting at the epoch barrier for the
+	// slowest shard (zero under serial execution, which has no barrier).
+	EpochStallNs int64
+	// MailboxPeak is the most cross-shard deliveries this shard ever
+	// had staged at one flush.
+	MailboxPeak int
 }
 
 // NewShardGroup builds a group over the given kernels, which must all
@@ -52,8 +79,12 @@ func NewShardGroup(kernels ...*Kernel) *ShardGroup {
 	return &ShardGroup{
 		kernels: kernels,
 		pending: make([][]crossMsg, len(kernels)),
+		health:  make([]ShardHealth, len(kernels)),
 	}
 }
+
+// Health reports shard i's execution-geometry gauges.
+func (g *ShardGroup) Health(i int) ShardHealth { return g.health[i] }
 
 // Shards reports the number of kernels in the group.
 func (g *ShardGroup) Shards() int { return len(g.kernels) }
@@ -94,11 +125,16 @@ func (g *ShardGroup) Post(src, dst int, d time.Duration, fn func(any), arg any) 
 	if d < 0 {
 		d = 0
 	}
+	var span uint64
+	if tr := g.kernels[src].tracer; tr != nil {
+		span = tr.Current()
+	}
 	g.pending[src] = append(g.pending[src], crossMsg{
 		dst:   dst,
 		dueNs: g.kernels[src].nowNs + int64(d),
 		fn:    fn,
 		arg:   arg,
+		span:  span,
 	})
 }
 
@@ -112,6 +148,9 @@ func (g *ShardGroup) Post(src, dst int, d time.Duration, fn func(any), arg any) 
 func (g *ShardGroup) flush() {
 	for src := range g.pending {
 		buf := g.pending[src]
+		if n := len(buf); n > g.health[src].MailboxPeak {
+			g.health[src].MailboxPeak = n
+		}
 		for i := range buf {
 			m := &buf[i]
 			dst := g.kernels[m.dst]
@@ -123,11 +162,18 @@ func (g *ShardGroup) flush() {
 				}
 				at = dst.nowNs
 			}
-			dst.scheduleNs(at, nil, m.fn, m.arg)
+			dst.scheduleNsCtx(at, nil, m.fn, m.arg, m.span)
 			m.fn = nil
 			m.arg = nil
 		}
 		g.pending[src] = buf[:0]
+	}
+	for i, k := range g.kernels {
+		d := k.Pending()
+		g.health[i].QueueDepth = d
+		if d > g.health[i].QueuePeak {
+			g.health[i].QueuePeak = d
+		}
 	}
 }
 
@@ -158,6 +204,15 @@ func (g *ShardGroup) RunFor(d time.Duration) error {
 		}
 		if workers != nil {
 			workers.runEpoch(deadline)
+			var latest time.Time
+			for _, f := range workers.finish {
+				if f.After(latest) {
+					latest = f
+				}
+			}
+			for i, f := range workers.finish {
+				g.health[i].EpochStallNs += latest.Sub(f).Nanoseconds()
+			}
 			for _, err := range workers.errs {
 				if err != nil && g.firstErr == nil {
 					g.firstErr = err
@@ -204,6 +259,7 @@ type shardWorkers struct {
 	kernels  []*Kernel
 	deadline int64
 	errs     []error
+	finish   []time.Time // wall instant each worker reached the barrier
 	start    []chan struct{}
 	wg       sync.WaitGroup
 }
@@ -212,6 +268,7 @@ func startShardWorkers(kernels []*Kernel) *shardWorkers {
 	w := &shardWorkers{
 		kernels: kernels,
 		errs:    make([]error, len(kernels)),
+		finish:  make([]time.Time, len(kernels)),
 		start:   make([]chan struct{}, len(kernels)),
 	}
 	for i := range kernels {
@@ -221,6 +278,7 @@ func startShardWorkers(kernels []*Kernel) *shardWorkers {
 				if err := w.kernels[i].runUntilNs(w.deadline); err != nil && w.errs[i] == nil {
 					w.errs[i] = err
 				}
+				w.finish[i] = time.Now()
 				w.wg.Done()
 			}
 		}(i)

@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"sdntamper/internal/obs/trace"
 )
 
 // Epoch is the default virtual start-of-time for a Kernel. The specific
@@ -64,6 +66,10 @@ type eventSlot struct {
 	fn       func()
 	argFn    func(any)
 	arg      any
+	// span is the trace context captured when the event was scheduled;
+	// Step restores it before dispatch so causal chains survive any
+	// number of scheduling hops (always zero with tracing disabled).
+	span uint64
 }
 
 // Event is a handle to a scheduled callback, returned by the scheduling
@@ -123,6 +129,7 @@ type Kernel struct {
 
 	eventLimit uint64
 	stepHook   func()
+	tracer     *trace.Recorder
 }
 
 // Option configures a Kernel.
@@ -213,6 +220,21 @@ func (k *Kernel) StepHook() func() { return k.stepHook }
 // Executed reports the total number of events run so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
+// SetTracer attaches a span recorder to the kernel. From then on every
+// scheduled event captures the current span context and Step restores
+// it before dispatch, so trace parentage crosses arbitrary scheduling
+// hops. With no tracer (the default) the hot path pays one nil check
+// and stays allocation-free.
+func (k *Kernel) SetTracer(r *trace.Recorder) {
+	k.tracer = r
+	if r != nil {
+		r.SetClock(func() int64 { return int64(k.Elapsed()) })
+	}
+}
+
+// Tracer reports the attached span recorder, or nil.
+func (k *Kernel) Tracer() *trace.Recorder { return k.tracer }
+
 // Schedule runs fn after virtual delay d. A negative delay is treated as
 // zero. Events scheduled for the same instant run in scheduling order.
 func (k *Kernel) Schedule(d time.Duration, fn func()) Event {
@@ -245,12 +267,26 @@ func (k *Kernel) ScheduleArg(d time.Duration, fn func(any), arg any) Event {
 }
 
 func (k *Kernel) scheduleNs(at int64, fn func(), argFn func(any), arg any) Event {
+	var span uint64
+	if k.tracer != nil {
+		span = k.tracer.Current()
+	}
+	return k.scheduleNsCtx(at, fn, argFn, arg, span)
+}
+
+// scheduleNsCtx schedules with an explicit trace context instead of the
+// kernel tracer's current one. The shard group's flush uses it to stamp
+// a cross-shard delivery with the context captured on the SOURCE shard
+// at Post time (the destination tracer's context is unrelated by the
+// time staged messages land).
+func (k *Kernel) scheduleNsCtx(at int64, fn func(), argFn func(any), arg any, span uint64) Event {
 	s := k.newSlot()
 	s.at = at
 	s.seq = k.seq
 	s.fn = fn
 	s.argFn = argFn
 	s.arg = arg
+	s.span = span
 	k.seq++
 	k.heapPush(s)
 	return Event{slot: s, gen: s.gen}
@@ -379,6 +415,9 @@ func (k *Kernel) Step() bool {
 		k.nowNs = s.at
 		k.executed++
 		fn, argFn, arg := s.fn, s.argFn, s.arg
+		if k.tracer != nil {
+			k.tracer.SetCurrent(s.span)
+		}
 		// Recycle before running so a self-rescheduling callback reuses
 		// this slot; the handle we return from Schedule is already stale
 		// by the time its callback runs, exactly as before.

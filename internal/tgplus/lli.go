@@ -6,6 +6,7 @@ import (
 
 	"sdntamper/internal/controller"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
 	"sdntamper/internal/sim"
 	"sdntamper/internal/stats"
 )
@@ -35,7 +36,8 @@ type LLI struct {
 	verdicts *obs.Verdicts
 	linkLat  *obs.Histogram
 
-	control map[uint64]*controlEstimate
+	control  map[uint64]*controlEstimate
+	traceSeq uint64
 	// window is the fixed-size store of verified switch-link latencies.
 	// It is global across links (as in the paper's design): a freshly
 	// fabricated link is judged against the latency history of the real
@@ -180,6 +182,25 @@ func (l *LLI) ApproveLink(ev *controller.LinkEvent) bool {
 	w := l.window
 	sample := LatencySample{At: ev.ReceivedAt, Link: ev.Link, Latency: latency}
 	enforce := w.N() >= l.cfg.MinSamples
+	if tr := l.api.Metrics().Tracer(); tr != nil {
+		// One scoring span per measurement: the inferred link latency
+		// after control-delay subtraction, and the threshold it was (or
+		// was not yet) judged against.
+		l.traceSeq++
+		now := tr.Now()
+		detail := fmt.Sprintf("latency=%v", latency)
+		if enforce {
+			detail = fmt.Sprintf("latency=%v threshold=%v", latency, w.IQRThreshold(l.cfg.IQRMultiplier))
+		}
+		tr.Emit(trace.Span{
+			ID:     trace.MixID(uint64(trace.KindDefense), lliSpanTag, l.traceSeq),
+			Parent: tr.Current(),
+			Start:  now, End: now,
+			Kind: trace.KindDefense, Name: "lli.score",
+			Entity: ev.Link.Src.DPID, Port: ev.Link.Src.Port,
+			Detail: detail,
+		})
+	}
 	if enforce {
 		sample.Threshold = w.IQRThreshold(l.cfg.IQRMultiplier)
 		if latency > sample.Threshold {

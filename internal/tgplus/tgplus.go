@@ -23,6 +23,15 @@ import (
 
 	"sdntamper/internal/controller"
 	"sdntamper/internal/obs"
+	"sdntamper/internal/obs/trace"
+	"sdntamper/internal/sim"
+)
+
+// Span-ID tags for the module's forensic annotation spans (distinct
+// from the tags obs.Verdicts derives from the module names).
+var (
+	cmmSpanTag = trace.MixID('c', 'm', 'm')
+	lliSpanTag = trace.MixID('l', 'l', 'i')
 )
 
 // Module name strings used in alerts (matching the Floodlight class whose
@@ -55,6 +64,7 @@ type CMM struct {
 	// retention bounds the control-message log; events older than this
 	// can no longer fall inside any live LLDP propagation window.
 	retention time.Duration
+	traceSeq  uint64
 }
 
 // NewCMM creates a Control Message Monitor. The retention must exceed the
@@ -111,6 +121,22 @@ func (c *CMM) ApproveLink(ev *controller.LinkEvent) bool {
 			kind := "Port-Up"
 			if pe.down {
 				kind = "Port-Down"
+			}
+			if tr := c.api.Metrics().Tracer(); tr != nil {
+				// The forensic "smoking gun": a span covering the probe's
+				// propagation window, annotated with the control message
+				// that fell inside it, parented on the LLDP flight under
+				// adjudication.
+				c.traceSeq++
+				tr.Emit(trace.Span{
+					ID:     trace.MixID(uint64(trace.KindDefense), cmmSpanTag, c.traceSeq),
+					Parent: tr.Current(),
+					Start:  int64(ev.SentAt.Sub(sim.Epoch)),
+					End:    int64(pe.at.Sub(sim.Epoch)),
+					Kind:   trace.KindDefense, Name: "cmm.window",
+					Entity: pe.loc.DPID, Port: pe.loc.Port,
+					Detail: fmt.Sprintf("%s from %s inside propagation window", kind, pe.loc),
+				})
 			}
 			c.verdicts.Block(ReasonControlMessage)
 			c.api.RaiseAlert(cmmName, ReasonControlMessage,
