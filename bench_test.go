@@ -22,6 +22,7 @@ import (
 	"sdntamper/internal/packet"
 	"sdntamper/internal/probe"
 	"sdntamper/internal/sim"
+	"sdntamper/internal/traffic"
 )
 
 // --- Table I: liveness probe options -----------------------------------
@@ -434,6 +435,37 @@ func BenchmarkScheduleTraced(b *testing.B) {
 	k.Schedule(0, next)
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkTrafficBurst measures the traffic engine's per-packet
+// overhead: flow admission, batched pump events and frame construction
+// into the host's reused transmit buffer. The wire's carrier is down so
+// Send drops without the per-frame delivery copy (that copy is the
+// link's cost, benchmarked elsewhere) — everything the engine itself
+// does per packet must be allocation-free: package-level event
+// functions recycle kernel slots, payloads are pooled, and flow state
+// is two integers.
+func BenchmarkTrafficBurst(b *testing.B) {
+	k := sim.New(sim.WithEventLimit(^uint64(0)))
+	l := link.NewLink(k, sim.Const(time.Microsecond))
+	h := dataplane.NewHost(k, "h", packet.MustMAC("aa:aa:aa:aa:aa:aa"), packet.MustIPv4("10.0.0.1"), l, link.EndB)
+	l.SetCarrier(link.EndA, false)
+	g := traffic.NewGenerator(h, packet.MustMAC("bb:bb:bb:bb:bb:bb"), packet.MustIPv4("10.0.0.2"), 9,
+		traffic.Profile{PayloadBytes: 1000}, 1, 0)
+	// Warm the kernel free list and heap backing array.
+	g.Burst(256)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Burst(b.N) // default profile: one packet per flow
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if got := g.Counters().Packets; got < uint64(b.N) {
+		b.Fatalf("drained %d of %d packets", got, b.N)
 	}
 }
 

@@ -16,6 +16,11 @@
 //	benchharness -experiment scale -seed 7
 //	benchharness -experiment scale -shards 4 -scalek 16 -scalerounds 3
 //
+// So is the distributed-DoS experiment, which runs both flood variants
+// at 1 and 2 shards and verifies the deterministic surface matches:
+//
+//	benchharness -experiment dos -dosk 4 -dosfloor 30000 -dosout BENCH_pr8.json
+//
 // Profiling: -cpuprofile and -memprofile write pprof files for whatever
 // experiment ran. Profiles observe wall-clock behavior only; they do not
 // perturb the virtual clock, so profiled runs stay deterministic.
@@ -47,7 +52,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos, scale")
+	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos, scale, dos")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
@@ -57,6 +62,9 @@ func run(args []string) error {
 	scaleK := fs.String("scalek", "4,8,16", "scale experiment: comma-separated fat-tree arities (sharded path only)")
 	scaleRounds := fs.Int("scalerounds", 3, "scale experiment: steady-state ping rounds (sharded path only)")
 	scaleParallel := fs.Bool("scaleparallel", true, "scale experiment: run shard epochs on parallel goroutines")
+	dosK := fs.Int("dosk", 4, "dos experiment: fat-tree arity")
+	dosFloor := fs.Float64("dosfloor", 0, "dos experiment: fail if any run executes fewer kernel events/s (0 = no floor)")
+	dosOut := fs.String("dosout", "", "dos experiment: write the JSON report to this file")
 	chaosTrials := fs.Int("chaostrials", 5, "chaos experiment: seeded trials per fault class")
 	chaosClasses := fs.String("chaosclasses", "", "chaos experiment: comma-separated fault classes (default all: flap-storm,loss-episode,latency-spike,disconnect)")
 	chaosOut := fs.String("chaosout", "", "chaos experiment: write the JSON report to this file")
@@ -121,6 +129,9 @@ func run(args []string) error {
 		},
 		"scale": func(s int64, _ int) error {
 			return printScale(s, *shards, *scaleK, *scaleRounds, *scaleParallel, *tracePath)
+		},
+		"dos": func(s int64, _ int) error {
+			return printDoS(s, *dosK, *dosFloor, *dosOut)
 		},
 	}
 
@@ -637,9 +648,9 @@ func printMatrix(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-48s %-12s %-12s %s\n", "Attack", "TopoGuard", "SPHINX", "TOPOGUARD+")
+	fmt.Printf("%-48s %-12s %-12s %-12s %s\n", "Attack", "TopoGuard", "SPHINX", "TOPOGUARD+", "FULLSTACK")
 	for _, r := range rows {
-		fmt.Printf("%-48s %-12s %-12s %s\n", r.Attack, r.VsTopoGuard, r.VsSphinx, r.VsTGPlus)
+		fmt.Printf("%-48s %-12s %-12s %-12s %s\n", r.Attack, r.VsTopoGuard, r.VsSphinx, r.VsTGPlus, r.VsFullStack)
 	}
 	return nil
 }

@@ -48,8 +48,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("topotamper", flag.ContinueOnError)
 	scenarioName := fs.String("scenario", "fig9", "topology: fig1, fig2, fig9")
-	defenseName := fs.String("defense", "topoguard+", "defense stack: none, topoguard, sphinx, both, topoguard+")
-	attackName := fs.String("attack", "oob-amnesia", "attack: none, naive-fabrication, amnesia (alias oob-amnesia), inband-amnesia, naive-hijack, port-probing, alert-flood")
+	defenseName := fs.String("defense", "topoguard+", "defense stack: none, topoguard, sphinx, both, topoguard+, ratemon, full")
+	attackName := fs.String("attack", "oob-amnesia", "attack: none, naive-fabrication, amnesia (alias oob-amnesia), inband-amnesia, naive-hijack, port-probing, alert-flood, synflood, saturation")
 	duration := fs.Duration("duration", 2*time.Minute, "virtual time to run")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	quiet := fs.Bool("quiet", false, "suppress the controller log, print only the summary")
@@ -437,6 +437,26 @@ func launchAttack(s *core.Scenario, scenarioName, attackName string, logf func(s
 			logf("[victim] beginning migration (interface down)")
 			victim.InterfaceDown()
 		})
+	case "synflood", "saturation":
+		server := s.Net.Host(core.HostServer)
+		if server == nil || a == nil || b == nil {
+			return fmt.Errorf("%s needs the fig9 scenario (attackers flood the server)", attackName)
+		}
+		// Rates sized to exceed the default monitor threshold (80% of a
+		// 10 Mbps access link = 1 MB/s): 25k SYN/s × 54 B ≈ 1.35 MB/s,
+		// 1k datagrams/s × 1442 B ≈ 1.4 MB/s.
+		variant := attack.SYNFlood
+		pps := 25000.0
+		if attackName == "saturation" {
+			variant = attack.LinkSaturation
+			pps = 1000
+		}
+		flood := attack.NewDoS([]*dataplane.Host{a, b}, server.MAC(), server.IP(),
+			attack.DoSConfig{Variant: variant, PacketsPerSec: pps, Seed: 0})
+		flood.Announce()
+		flood.Start()
+		logf("[attack] distributed %s from %s and %s against %s", attackName,
+			core.HostAttackerA, core.HostAttackerB, core.HostServer)
 	case "alert-flood":
 		victim := s.Net.Host(core.HostVictim)
 		client := s.Net.Host(core.HostClient)
@@ -465,6 +485,10 @@ func parseDefense(name string) (core.Defenses, error) {
 		return core.BothBaselines(), nil
 	case "topoguard+", "tgplus":
 		return core.TopoGuardPlus(), nil
+	case "ratemon":
+		return core.RateMonOnly(), nil
+	case "full", "fullstack":
+		return core.FullStack(), nil
 	default:
 		return core.Defenses{}, fmt.Errorf("unknown defense %q", name)
 	}

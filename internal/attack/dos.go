@@ -1,0 +1,201 @@
+package attack
+
+import (
+	"math/rand"
+	"time"
+
+	"sdntamper/internal/dataplane"
+	"sdntamper/internal/packet"
+	"sdntamper/internal/sim"
+)
+
+// DoSVariant selects the denial-of-service flavor.
+type DoSVariant int
+
+const (
+	// SYNFlood blasts small TCP SYNs with randomized spoofed source
+	// identities at the victim — state-exhaustion pressure, low bytes.
+	SYNFlood DoSVariant = iota
+	// LinkSaturation blasts near-MTU UDP datagrams at the victim —
+	// bandwidth pressure on the victim's access link.
+	LinkSaturation
+)
+
+// String names the variant for reports.
+func (v DoSVariant) String() string {
+	if v == SYNFlood {
+		return "synflood"
+	}
+	return "saturation"
+}
+
+// DoSConfig tunes one distributed flood.
+type DoSConfig struct {
+	Variant DoSVariant
+	// PacketsPerSec is each attacker's send rate.
+	PacketsPerSec float64
+	// PayloadBytes sizes LinkSaturation datagrams. Default 1400.
+	PayloadBytes int
+	// BatchPackets is how many packets one pump event emits. Default 8.
+	BatchPackets int
+	// SpoofPool is how many distinct spoofed source identities each
+	// SYNFlood agent rotates through (hping-style bounded pools).
+	// Bounding the pool keeps the victim's backscatter on installed
+	// flows instead of causing a per-reply Packet-In storm. Default 256.
+	SpoofPool int
+	// Seed fixes the spoofed-identity RNG streams.
+	Seed int64
+}
+
+// spoofID is one forged source identity.
+type spoofID struct {
+	mac  packet.MAC
+	ip   packet.IPv4Addr
+	port uint16
+}
+
+// dosModuleTag namespaces per-agent RNG seeds within sim.MixSeed.
+const dosModuleTag = 0x646f73 // "dos"
+
+// dosAgent is one attacker host's send loop. Each agent runs on its own
+// host's kernel with a private RNG, so a distributed flood across pods
+// is shard-invariant.
+type dosAgent struct {
+	host      *dataplane.Host
+	cfg       DoSConfig
+	victimMAC packet.MAC
+	victimIP  packet.IPv4Addr
+	rng       *rand.Rand
+	payload   []byte
+	pool      []spoofID
+	interval  time.Duration
+	running   bool
+	ev        sim.Event
+	sent      uint64
+}
+
+// DoS coordinates a distributed flood from several attacker hosts. The
+// caller picks the attackers (the fat-tree scenario places at most one
+// per edge switch so no two floods share an access uplink).
+type DoS struct {
+	agents  []*dosAgent
+	started bool
+}
+
+// NewDoS prepares a flood from the given hosts against the victim.
+func NewDoS(attackers []*dataplane.Host, victimMAC packet.MAC, victimIP packet.IPv4Addr, cfg DoSConfig) *DoS {
+	if cfg.PacketsPerSec <= 0 {
+		cfg.PacketsPerSec = 1000
+	}
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = 1400
+	}
+	if cfg.BatchPackets <= 0 {
+		cfg.BatchPackets = 8
+	}
+	if cfg.SpoofPool <= 0 {
+		cfg.SpoofPool = 256
+	}
+	d := &DoS{}
+	for i, h := range attackers {
+		a := &dosAgent{
+			host:      h,
+			cfg:       cfg,
+			victimMAC: victimMAC,
+			victimIP:  victimIP,
+			rng:       rand.New(rand.NewSource(sim.MixSeed(cfg.Seed, dosModuleTag, uint64(i)))),
+			interval:  time.Duration(float64(cfg.BatchPackets) / cfg.PacketsPerSec * float64(time.Second)),
+		}
+		if cfg.Variant == LinkSaturation {
+			// Pooled: the link layer copies frames at ingress.
+			a.payload = make([]byte, cfg.PayloadBytes)
+		} else {
+			// Fresh spoofed identities per agent: locally-administered
+			// MACs, RFC 1918 sources, ephemeral ports. The agent index
+			// is folded into the MAC so pools never collide across
+			// attackers.
+			a.pool = make([]spoofID, cfg.SpoofPool)
+			for j := range a.pool {
+				a.pool[j] = spoofID{
+					mac:  packet.MAC{0x02, 0x66, byte(i), byte(a.rng.Intn(256)), byte(a.rng.Intn(256)), byte(j)},
+					ip:   packet.IPv4Addr{172, 16, byte(a.rng.Intn(256)), byte(1 + a.rng.Intn(254))},
+					port: uint16(1024 + a.rng.Intn(64000)),
+				}
+			}
+		}
+		d.agents = append(d.agents, a)
+	}
+	return d
+}
+
+// Announce broadcasts one datagram from every spoofed identity so host
+// tracking learns each at its attacker's port before the flood begins.
+// Real flood tools leak their pool the same way (OS ARP announcements,
+// prior scans); without it every victim reply addressed to an unknown
+// identity would flood the fabric instead of riding installed flows.
+func (d *DoS) Announce() {
+	for _, a := range d.agents {
+		for _, id := range a.pool {
+			u := &packet.UDP{SrcPort: id.port, DstPort: 9}
+			ip := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: id.ip,
+				Dst: packet.IPv4Addr{255, 255, 255, 255}, Payload: u.Marshal()}
+			eth := &packet.Ethernet{Dst: packet.BroadcastMAC, Src: id.mac,
+				Type: packet.EtherTypeIPv4, Payload: ip.Marshal()}
+			a.host.SendRaw(eth.Marshal())
+		}
+	}
+}
+
+// Start launches every agent, each offset by a private random fraction
+// of its batch interval so the agents do not fire in lockstep.
+func (d *DoS) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	for _, a := range d.agents {
+		a.running = true
+		offset := time.Duration(a.rng.Float64() * float64(a.interval))
+		a.ev = a.host.Kernel().ScheduleArg(offset, dosPumpEvent, a)
+	}
+}
+
+// Stop halts every agent.
+func (d *DoS) Stop() {
+	if !d.started {
+		return
+	}
+	d.started = false
+	for _, a := range d.agents {
+		a.running = false
+		a.ev.Cancel()
+	}
+}
+
+// PacketsSent totals packets emitted across all agents.
+func (d *DoS) PacketsSent() uint64 {
+	var n uint64
+	for _, a := range d.agents {
+		n += a.sent
+	}
+	return n
+}
+
+// dosPumpEvent is package-level so the per-batch reschedule never
+// allocates a closure; the flood must not be the kernel bottleneck.
+func dosPumpEvent(arg any) {
+	a := arg.(*dosAgent)
+	if !a.running {
+		return
+	}
+	for i := 0; i < a.cfg.BatchPackets; i++ {
+		if a.cfg.Variant == SYNFlood {
+			id := a.pool[a.rng.Intn(len(a.pool))]
+			a.host.SendSpoofedSYN(id.mac, id.ip, a.victimMAC, a.victimIP, id.port, 80)
+		} else {
+			a.host.SendUDP(a.victimMAC, a.victimIP, uint16(1024+a.rng.Intn(64000)), 9, a.payload)
+		}
+		a.sent++
+	}
+	a.ev = a.host.Kernel().ScheduleArg(a.interval, dosPumpEvent, a)
+}

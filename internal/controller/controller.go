@@ -571,6 +571,15 @@ func (c *Controller) FlowModLog() []openflow.FlowMod {
 	return out
 }
 
+// PushFlowMod implements API: it lets defense modules install or remove
+// flow entries (e.g. RATEMON's auto-block drop rules) through the same
+// path the controller's own forwarding logic uses, so the FlowMod log
+// and FlowMod observers see defense-issued rules too. Pushing to an
+// unknown dpid is a no-op.
+func (c *Controller) PushFlowMod(dpid uint64, fm *openflow.FlowMod) {
+	c.sendFlowMod(dpid, fm)
+}
+
 // sendFlowMod pushes a FlowMod to a switch, logging it and notifying
 // FlowMod observers (SPHINX builds its trusted state from these).
 func (c *Controller) sendFlowMod(dpid uint64, fm *openflow.FlowMod) {

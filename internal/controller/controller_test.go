@@ -6,6 +6,7 @@ import (
 
 	"sdntamper/internal/controller"
 	"sdntamper/internal/dataplane"
+	"sdntamper/internal/link"
 	"sdntamper/internal/lldp"
 	"sdntamper/internal/netsim"
 	"sdntamper/internal/openflow"
@@ -289,6 +290,136 @@ func TestRequestStats(t *testing.T) {
 	}
 	if !gotPorts || !gotFlows {
 		t.Fatalf("stats callbacks: ports=%v flows=%v", gotPorts, gotFlows)
+	}
+}
+
+// TestPortStatsForScopedPort pins the single-port form: a request scoped
+// to an existing port returns exactly that port's counters.
+func TestPortStatsForScopedPort(t *testing.T) {
+	n := twoSwitchNet(t)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var got []openflow.PortStats
+	n.Controller.RequestPortStatsFor(0x1, 3, func(ps []openflow.PortStats) { got = ps })
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].PortNo != 3 {
+		t.Fatalf("scoped stats = %+v, want exactly port 3", got)
+	}
+	// Port 3 is the trunk port: discovery LLDP has crossed it, so both
+	// packet and byte counters must already be live.
+	if got[0].TxPackets == 0 || got[0].TxBytes == 0 {
+		t.Fatalf("trunk port counters empty: %+v", got[0])
+	}
+}
+
+// TestPortStatsForUnknownPort pins the explicit-empty semantics: a
+// request scoped to a port the switch does not have yields an
+// authoritative empty reply — a non-nil zero-length slice, distinct from
+// the nil that the no-answer paths deliver.
+func TestPortStatsForUnknownPort(t *testing.T) {
+	n := twoSwitchNet(t)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var got []openflow.PortStats
+	called := false
+	n.Controller.RequestPortStatsFor(0x1, 99, func(ps []openflow.PortStats) {
+		called = true
+		got = ps
+	})
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("unknown-port request never resolved")
+	}
+	if got == nil {
+		t.Fatal("unknown port delivered nil; want authoritative empty (non-nil)")
+	}
+	if len(got) != 0 {
+		t.Fatalf("unknown port delivered entries: %+v", got)
+	}
+}
+
+// TestPortStatsForUnknownDPID: a dpid with no connection resolves nil
+// synchronously.
+func TestPortStatsForUnknownDPID(t *testing.T) {
+	n := twoSwitchNet(t)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	n.Controller.RequestPortStatsFor(0xdead, 1, func(ps []openflow.PortStats) {
+		called = true
+		if ps != nil {
+			t.Fatalf("unknown dpid delivered %+v, want nil", ps)
+		}
+	})
+	if !called {
+		t.Fatal("unknown-dpid request must resolve synchronously")
+	}
+}
+
+// TestPortStatsTimeoutDeliversNil pins the 5 s lost-reply path: when the
+// switch's reply never reaches the controller, the waiter resolves nil
+// (not empty) after statsRequestTimeout.
+func TestPortStatsTimeoutDeliversNil(t *testing.T) {
+	n := twoSwitchNet(t)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Deafen the controller end of the control channel: the request
+	// still reaches the switch, but the reply is dropped on arrival.
+	n.ControlChannel(0x1).OnReceive(link.EndB, nil)
+	calls := 0
+	var got []openflow.PortStats
+	n.Controller.RequestPortStatsFor(0x1, 3, func(ps []openflow.PortStats) {
+		calls++
+		got = ps
+	})
+	if err := n.Run(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("waiter resolved before the 5s timeout (got %+v)", got)
+	}
+	if err := n.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("timeout callbacks = %d, want exactly 1", calls)
+	}
+	if got != nil {
+		t.Fatalf("timeout delivered %+v, want nil (lost reply, not authoritative empty)", got)
+	}
+}
+
+// TestPortStatsDisconnectFailsFast: a disconnect fails the pending
+// waiter immediately with nil, and the canceled timeout must not fire a
+// second callback later.
+func TestPortStatsDisconnectFailsFast(t *testing.T) {
+	n := twoSwitchNet(t)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	var got []openflow.PortStats
+	n.Controller.RequestPortStatsFor(0x1, 3, func(ps []openflow.PortStats) {
+		calls++
+		got = ps
+	})
+	n.DisconnectSwitch(0x1)
+	if calls != 1 || got != nil {
+		t.Fatalf("after disconnect: calls=%d got=%+v, want 1 nil-call", calls, got)
+	}
+	if err := n.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("canceled timeout fired again: calls=%d", calls)
 	}
 }
 

@@ -188,14 +188,27 @@ func (c *Controller) RequestFlowStats(dpid uint64, cb func([]openflow.FlowStats)
 }
 
 // RequestPortStats implements API, with the same timeout treatment as
-// RequestFlowStats.
+// RequestFlowStats. It asks for every port on the switch.
 func (c *Controller) RequestPortStats(dpid uint64, cb func([]openflow.PortStats)) {
+	c.RequestPortStatsFor(dpid, openflow.PortNone, cb)
+}
+
+// RequestPortStatsFor implements API: a port-stats request scoped to one
+// port number (openflow.PortNone asks for all ports). The callback
+// distinguishes three outcomes:
+//
+//   - nil slice: no answer — unknown dpid, switch disconnect, or reply
+//     lost past statsRequestTimeout;
+//   - empty non-nil slice: the switch answered and has no matching port
+//     (OpenFlow 1.0 empty OFPST_PORT body, not an error message);
+//   - entries: counters for the matching port(s).
+func (c *Controller) RequestPortStatsFor(dpid uint64, portNo uint32, cb func([]openflow.PortStats)) {
 	conn, ok := c.conns[dpid]
 	if !ok {
 		cb(nil)
 		return
 	}
-	xid := conn.sendMsg(&openflow.StatsRequest{Kind: openflow.StatsPort, PortNo: openflow.PortNone})
+	xid := conn.sendMsg(&openflow.StatsRequest{Kind: openflow.StatsPort, PortNo: portNo})
 	c.registerStatsWaiter(xid, pendingStats{dpid: dpid, portCB: cb})
 }
 
@@ -233,7 +246,15 @@ func (c *Controller) resolveStats(xid uint32, reply *openflow.StatsReply) {
 		}
 	case openflow.StatsPort:
 		if w.portCB != nil {
-			w.portCB(reply.Ports)
+			ports := reply.Ports
+			if ports == nil {
+				// The switch answered with an empty body (request scoped
+				// to a port it does not have). Normalize to a non-nil
+				// empty slice so callers can tell "authoritative empty"
+				// from the nil that timeout/disconnect paths deliver.
+				ports = []openflow.PortStats{}
+			}
+			w.portCB(ports)
 		}
 	}
 }

@@ -235,6 +235,15 @@ type API interface {
 	RequestFlowStats(dpid uint64, cb func([]openflow.FlowStats))
 	// RequestPortStats polls one switch's port counters.
 	RequestPortStats(dpid uint64, cb func([]openflow.PortStats))
+	// RequestPortStatsFor polls one port's counters (openflow.PortNone =
+	// all ports). cb(nil) means no answer (unknown dpid, disconnect, or
+	// timeout); an empty non-nil slice is the switch's authoritative
+	// "no such port" reply.
+	RequestPortStatsFor(dpid uint64, portNo uint32, cb func([]openflow.PortStats))
+	// PushFlowMod installs or removes a flow entry on a switch through
+	// the controller's logged FlowMod path (no-op for unknown dpid).
+	// Rate-based defenses use it for auto-block drop rules.
+	PushFlowMod(dpid uint64, fm *openflow.FlowMod)
 	// Keychain exposes the controller LLDP keys (nil if signing disabled).
 	Keychain() *lldp.Keychain
 	// Metrics exposes the controller's observability registry. Modules

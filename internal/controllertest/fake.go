@@ -43,8 +43,18 @@ type FakeAPI struct {
 	RemovedLinks []controller.Link
 	// FlowStatsByDPID scripts RequestFlowStats replies.
 	FlowStatsByDPID map[uint64][]openflow.FlowStats
-	// PortStatsByDPID scripts RequestPortStats replies.
+	// PortStatsByDPID scripts RequestPortStats replies. A dpid absent
+	// from the map means "no answer": RequestPortStatsFor delivers nil,
+	// like a disconnected switch.
 	PortStatsByDPID map[uint64][]openflow.PortStats
+	// FlowMods records PushFlowMod calls in order.
+	FlowMods []PushedFlowMod
+}
+
+// PushedFlowMod is one recorded PushFlowMod call.
+type PushedFlowMod struct {
+	DPID uint64
+	FM   openflow.FlowMod
 }
 
 var _ controller.API = (*FakeAPI)(nil)
@@ -122,8 +132,30 @@ func (f *FakeAPI) RequestFlowStats(dpid uint64, cb func([]openflow.FlowStats)) {
 
 // RequestPortStats implements controller.API.
 func (f *FakeAPI) RequestPortStats(dpid uint64, cb func([]openflow.PortStats)) {
-	stats := f.PortStatsByDPID[dpid]
-	f.Kernel.Schedule(time.Millisecond, func() { cb(stats) })
+	f.RequestPortStatsFor(dpid, openflow.PortNone, cb)
+}
+
+// RequestPortStatsFor implements controller.API with the real
+// controller's callback semantics: nil for an unanswerable dpid, a
+// non-nil (possibly empty) filtered slice otherwise.
+func (f *FakeAPI) RequestPortStatsFor(dpid uint64, portNo uint32, cb func([]openflow.PortStats)) {
+	stats, ok := f.PortStatsByDPID[dpid]
+	if !ok {
+		f.Kernel.Schedule(time.Millisecond, func() { cb(nil) })
+		return
+	}
+	out := []openflow.PortStats{}
+	for _, ps := range stats {
+		if portNo == openflow.PortNone || ps.PortNo == portNo {
+			out = append(out, ps)
+		}
+	}
+	f.Kernel.Schedule(time.Millisecond, func() { cb(out) })
+}
+
+// PushFlowMod implements controller.API by recording the call.
+func (f *FakeAPI) PushFlowMod(dpid uint64, fm *openflow.FlowMod) {
+	f.FlowMods = append(f.FlowMods, PushedFlowMod{DPID: dpid, FM: *fm})
 }
 
 // Keychain implements controller.API.

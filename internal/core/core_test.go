@@ -336,22 +336,28 @@ func TestAttackMatrixHeadlineResult(t *testing.T) {
 	for _, r := range rows {
 		byName[r.Attack] = r
 	}
-	check := func(attackName string, tg, spx, tgp Verdict) {
+	check := func(attackName string, tg, spx, tgp, full Verdict) {
 		t.Helper()
 		r, ok := byName[attackName]
 		if !ok {
 			t.Fatalf("missing row %q", attackName)
 		}
-		if r.VsTopoGuard != tg || r.VsSphinx != spx || r.VsTGPlus != tgp {
-			t.Fatalf("%s: got (%s, %s, %s), want (%s, %s, %s)",
-				attackName, r.VsTopoGuard, r.VsSphinx, r.VsTGPlus, tg, spx, tgp)
+		if r.VsTopoGuard != tg || r.VsSphinx != spx || r.VsTGPlus != tgp || r.VsFullStack != full {
+			t.Fatalf("%s: got (%s, %s, %s, %s), want (%s, %s, %s, %s)",
+				attackName, r.VsTopoGuard, r.VsSphinx, r.VsTGPlus, r.VsFullStack, tg, spx, tgp, full)
 		}
 	}
-	check("naive link fabrication (LLDP relay)", Blocked, Undetected, Blocked)
-	check("OOB port amnesia + link fabrication", Undetected, Undetected, Blocked)
-	check("in-band port amnesia + link fabrication", Undetected, Undetected, Blocked)
-	check("naive host hijack (victim online)", Blocked, Detected, Blocked)
-	check("port probing + host hijack (victim in transit)", Undetected, Undetected, Undetected)
+	// The full stack adds only the volumetric monitor on top of
+	// TOPOGUARD+, so the topology-tampering columns match — and it is
+	// the only stack that stops the floods, which tamper with nothing
+	// the topology-integrity defenses watch.
+	check("naive link fabrication (LLDP relay)", Blocked, Undetected, Blocked, Blocked)
+	check("OOB port amnesia + link fabrication", Undetected, Undetected, Blocked, Blocked)
+	check("in-band port amnesia + link fabrication", Undetected, Undetected, Blocked, Blocked)
+	check("naive host hijack (victim online)", Blocked, Detected, Blocked, Blocked)
+	check("port probing + host hijack (victim in transit)", Undetected, Undetected, Undetected, Undetected)
+	check("distributed SYN flood (spoofed sources)", Undetected, Undetected, Undetected, Blocked)
+	check("distributed link saturation (UDP)", Undetected, Undetected, Undetected, Blocked)
 }
 
 func TestScenarioTopologies(t *testing.T) {

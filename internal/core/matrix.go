@@ -8,6 +8,7 @@ import (
 	"sdntamper/internal/dataplane"
 	"sdntamper/internal/exp"
 	"sdntamper/internal/packet"
+	"sdntamper/internal/ratemon"
 	"sdntamper/internal/sphinx"
 	"sdntamper/internal/tgplus"
 	"sdntamper/internal/topoguard"
@@ -28,20 +29,22 @@ const (
 	Failed Verdict = "failed"
 )
 
-// MatrixRow is one attack evaluated against the three defense stacks.
+// MatrixRow is one attack evaluated against the four defense stacks.
 type MatrixRow struct {
 	Attack      string
 	VsTopoGuard Verdict
 	VsSphinx    Verdict
 	VsTGPlus    Verdict
+	VsFullStack Verdict
 }
 
 // RunAttackMatrix reproduces the paper's headline result as a matrix:
-// each attack is executed against TopoGuard, SPHINX and TOPOGUARD+
-// (TopoGuard + CMM + LLI) in fresh scenarios, and each cell reports
-// whether the attack succeeded undetected. The attack rows shard across
-// worker goroutines (every cell owns a private scenario); row order and
-// per-cell seeds match the serial sweep exactly.
+// each attack is executed against TopoGuard, SPHINX, TOPOGUARD+
+// (TopoGuard + CMM + LLI) and the full stack (TOPOGUARD+ plus the rate
+// monitor) in fresh scenarios, and each cell reports whether the attack
+// succeeded undetected. The attack rows shard across worker goroutines
+// (every cell owns a private scenario); row order and per-cell seeds
+// match the serial sweep exactly.
 func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
 	type cell func(def Defenses, s int64) (Verdict, error)
 	type spec struct {
@@ -49,7 +52,7 @@ func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
 		fn   cell
 		seed int64
 	}
-	run3 := func(sp spec) (MatrixRow, error) {
+	run4 := func(sp spec) (MatrixRow, error) {
 		row := MatrixRow{Attack: sp.name}
 		var err error
 		if row.VsTopoGuard, err = sp.fn(TopoGuardOnly(), sp.seed); err != nil {
@@ -61,6 +64,9 @@ func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
 		if row.VsTGPlus, err = sp.fn(TopoGuardPlus(), sp.seed+2); err != nil {
 			return row, err
 		}
+		if row.VsFullStack, err = sp.fn(FullStack(), sp.seed+3); err != nil {
+			return row, err
+		}
 		return row, nil
 	}
 
@@ -70,11 +76,13 @@ func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
 		{name: "in-band port amnesia + link fabrication", fn: runInBandCell},
 		{name: "naive host hijack (victim online)", fn: runNaiveHijackCell},
 		{name: "port probing + host hijack (victim in transit)", fn: runPortProbingCell},
+		{name: "distributed SYN flood (spoofed sources)", fn: runDoSCell(attack.SYNFlood)},
+		{name: "distributed link saturation (UDP)", fn: runDoSCell(attack.LinkSaturation)},
 	}
 	for i := range specs {
 		specs[i].seed = seed + int64(i)*101
 	}
-	return exp.Grid(specs, 0, run3)
+	return exp.Grid(specs, 0, run4)
 }
 
 // fabricationAlertReasons are the alert codes that count as detecting a
@@ -239,6 +247,69 @@ func runPortProbingCell(def Defenses, seed int64) (Verdict, error) {
 		return Blocked, nil
 	default:
 		return Failed, nil
+	}
+}
+
+// dosAlertReasons are the alert codes that count as detecting a flood.
+var dosAlertReasons = []string{ratemon.ReasonPortFlood}
+
+// runDoSCell floods the Figure 9 server from both attacker hosts (each
+// on its own switch) for 8 s. The attack "succeeds" when the flood is
+// delivered to the victim largely unthrottled; a defense that both
+// alerts and drops the bulk of the flood at the attackers' ingress
+// ports scores Blocked. Only the rate monitor reacts to volume, so the
+// topology-integrity stacks are expected to score Undetected here.
+func runDoSCell(variant attack.DoSVariant) func(Defenses, int64) (Verdict, error) {
+	return func(def Defenses, seed int64) (Verdict, error) {
+		if def.RateMon {
+			cfg := DoSRateMonConfig(variant)
+			def.RateMonConfig = &cfg
+		}
+		s := NewFig9Testbed(seed, def)
+		defer s.Close()
+		if err := s.Run(2 * time.Second); err != nil {
+			return Failed, err
+		}
+		victim := s.Net.Host(HostServer)
+		attackers := []*dataplane.Host{s.Net.Host(HostAttackerA), s.Net.Host(HostAttackerB)}
+		for _, a := range attackers {
+			a.ARPPing(victim.IP(), time.Second, func(dataplane.ProbeResult) {})
+		}
+		if err := s.Run(2 * time.Second); err != nil {
+			return Failed, err
+		}
+		cfg := attack.DoSConfig{Variant: variant, Seed: seed}
+		if variant == attack.SYNFlood {
+			cfg.PacketsPerSec = 2500
+		} else {
+			cfg.PacketsPerSec = 1000
+		}
+		flood := attack.NewDoS(attackers, victim.MAC(), victim.IP(), cfg)
+		flood.Announce()
+		if err := s.Run(time.Second); err != nil {
+			return Failed, err
+		}
+		rxBefore := victim.RxFrames()
+		flood.Start()
+		if err := s.Run(8 * time.Second); err != nil {
+			return Failed, err
+		}
+		flood.Stop()
+		if err := s.Run(time.Second); err != nil {
+			return Failed, err
+		}
+		delivered := float64(victim.RxFrames()-rxBefore) / float64(flood.PacketsSent())
+		alerted := anyAlert(s, dosAlertReasons)
+		switch {
+		case !alerted && delivered > 0.9:
+			return Undetected, nil
+		case alerted && delivered < 0.7:
+			return Blocked, nil
+		case alerted:
+			return Detected, nil
+		default:
+			return Failed, nil
+		}
 	}
 }
 

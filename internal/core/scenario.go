@@ -12,6 +12,7 @@ import (
 	"sdntamper/internal/link"
 	"sdntamper/internal/lldp"
 	"sdntamper/internal/netsim"
+	"sdntamper/internal/ratemon"
 	"sdntamper/internal/sim"
 	"sdntamper/internal/sphinx"
 	"sdntamper/internal/tgplus"
@@ -25,10 +26,15 @@ type Defenses struct {
 	Sphinx    bool
 	CMM       bool
 	LLI       bool
+	RateMon   bool
 	// LLIConfig overrides the Link Latency Inspector configuration
 	// (nil uses tgplus.DefaultLLIConfig). Ablation experiments use it to
 	// vary the IQR multiplier, window size and control averaging.
 	LLIConfig *tgplus.LLIConfig
+	// RateMonConfig overrides the rate monitor configuration (nil uses
+	// ratemon.DefaultConfig). DoS experiments use it to match the
+	// threshold to the modeled access-link bandwidth.
+	RateMonConfig *ratemon.Config
 }
 
 // NoDefenses deploys a stock controller.
@@ -47,6 +53,16 @@ func BothBaselines() Defenses { return Defenses{TopoGuard: true, Sphinx: true} }
 // TopoGuardPlus deploys the paper's full defense.
 func TopoGuardPlus() Defenses { return Defenses{TopoGuard: true, CMM: true, LLI: true} }
 
+// RateMonOnly deploys the rate-based DoS monitor alone.
+func RateMonOnly() Defenses { return Defenses{RateMon: true} }
+
+// FullStack deploys TOPOGUARD+ plus the rate-based DoS monitor: the
+// strongest configuration, covering both topology tampering and
+// volumetric flooding.
+func FullStack() Defenses {
+	return Defenses{TopoGuard: true, CMM: true, LLI: true, RateMon: true}
+}
+
 // Scenario is an assembled network with its deployed defense modules.
 type Scenario struct {
 	Net *netsim.Network
@@ -56,6 +72,7 @@ type Scenario struct {
 	Sphinx    *sphinx.Sphinx
 	CMM       *tgplus.CMM
 	LLI       *tgplus.LLI
+	RateMon   *ratemon.Monitor
 
 	// OOB is the attackers' side channel, when the scenario has one.
 	OOB *link.Channel
@@ -74,6 +91,9 @@ func (s *Scenario) Close() {
 	}
 	if s.LLI != nil {
 		s.LLI.Stop()
+	}
+	if s.RateMon != nil {
+		s.RateMon.Stop()
 	}
 	s.Net.Shutdown()
 }
@@ -101,6 +121,7 @@ type defenseModules struct {
 	Sphinx    *sphinx.Sphinx
 	CMM       *tgplus.CMM
 	LLI       *tgplus.LLI
+	RateMon   *ratemon.Monitor
 }
 
 // deployDefenses registers the selected modules on a controller. Call
@@ -129,6 +150,15 @@ func deployDefenses(ctl *controller.Controller, def Defenses) defenseModules {
 		ctl.Register(m.Sphinx)
 		m.Sphinx.Start()
 	}
+	if def.RateMon {
+		cfg := ratemon.DefaultConfig()
+		if def.RateMonConfig != nil {
+			cfg = *def.RateMonConfig
+		}
+		m.RateMon = ratemon.New(cfg)
+		ctl.Register(m.RateMon)
+		m.RateMon.Start()
+	}
 	return m
 }
 
@@ -142,7 +172,7 @@ func newScenario(seed int64, def Defenses, extra ...controller.Option) *Scenario
 // module tickers observe a populated network.
 func (s *Scenario) deploy() {
 	m := deployDefenses(s.Net.Controller, s.Def)
-	s.TopoGuard, s.Sphinx, s.CMM, s.LLI = m.TopoGuard, m.Sphinx, m.CMM, m.LLI
+	s.TopoGuard, s.Sphinx, s.CMM, s.LLI, s.RateMon = m.TopoGuard, m.Sphinx, m.CMM, m.LLI, m.RateMon
 }
 
 // Host link latency used in the evaluation testbed (all dataplane links

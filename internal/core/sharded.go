@@ -10,6 +10,7 @@ import (
 	"sdntamper/internal/dataplane"
 	"sdntamper/internal/netsim"
 	"sdntamper/internal/obs/trace"
+	"sdntamper/internal/ratemon"
 	"sdntamper/internal/tgplus"
 )
 
@@ -47,8 +48,14 @@ func (s *ShardedScenario) Close() {
 	if s.modules.LLI != nil {
 		s.modules.LLI.Stop()
 	}
+	if s.modules.RateMon != nil {
+		s.modules.RateMon.Stop()
+	}
 	s.Net.Shutdown()
 }
+
+// RateMon exposes the deployed rate monitor (nil when not selected).
+func (s *ShardedScenario) RateMon() *ratemon.Monitor { return s.modules.RateMon }
 
 // ShardedScaleResult summarizes one sharded fat-tree scale run. All
 // fields except Wall and ShardEvents are deterministic for a fixed seed

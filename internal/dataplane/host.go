@@ -153,6 +153,10 @@ func (h *Host) MAC() packet.MAC { return h.mac }
 // IP reports the current IPv4 address.
 func (h *Host) IP() packet.IPv4Addr { return h.ip }
 
+// Kernel exposes the simulation kernel the host is scheduled on, so
+// traffic generators can pace flow arrivals on the host's own shard.
+func (h *Host) Kernel() *sim.Kernel { return h.kernel }
+
 // Up reports whether the interface is administratively up.
 func (h *Host) Up() bool { return h.up }
 

@@ -12,11 +12,22 @@ import (
 )
 
 // Dataplane metric name bases; per-port counters carry dpid and port
-// labels derived from these.
+// labels derived from these. Drop counters additionally carry a dir label
+// ("rx" for frames refused at ingress, "tx" for frames refused at egress)
+// so ingress and egress losses are distinguishable in /metrics.
+//
+// All byte counters are uint64 and wrap modulo 2^64, like OpenFlow 1.0
+// port counters. Consumers computing rates MUST subtract consecutive
+// samples in uint64 arithmetic (cur - prev), which yields the true delta
+// as long as the counter wrapped at most once between polls; see
+// ratemon.ByteRate for the reference implementation.
 const (
 	MetricFramesRx      = "dataplane_rx_frames_total"
 	MetricFramesTx      = "dataplane_tx_frames_total"
 	MetricFramesDropped = "dataplane_dropped_frames_total"
+	MetricBytesRx       = "dataplane_rx_bytes_total"
+	MetricBytesTx       = "dataplane_tx_bytes_total"
+	MetricBytesDropped  = "dataplane_dropped_bytes_total"
 )
 
 // Link-pulse timing. IEEE 802.3 twisted-pair Ethernet defines a link
@@ -49,12 +60,18 @@ type Port struct {
 
 	rxPackets uint64
 	txPackets uint64
-	rxBytes   uint64
-	txBytes   uint64
 
-	mRx   *obs.Counter
-	mTx   *obs.Counter
-	mDrop *obs.Counter
+	// Byte totals live in the obs counters (mRxBytes/mTxBytes), which are
+	// both the /metrics export and the backing store for OpenFlow port
+	// stats replies — one increment site, no shadow accounting.
+	mRx          *obs.Counter
+	mTx          *obs.Counter
+	mRxBytes     *obs.Counter
+	mTxBytes     *obs.Counter
+	mDropRx      *obs.Counter
+	mDropTx      *obs.Counter
+	mDropRxBytes *obs.Counter
+	mDropTxBytes *obs.Counter
 }
 
 var _ link.Attachment = (*Port)(nil)
@@ -68,12 +85,13 @@ func (p *Port) Up() bool { return p.up }
 // ReceiveFrame implements link.Attachment.
 func (p *Port) ReceiveFrame(data []byte) {
 	if !p.up {
-		p.mDrop.Inc()
+		p.mDropRx.Inc()
+		p.mDropRxBytes.Add(uint64(len(data)))
 		return
 	}
 	p.rxPackets++
-	p.rxBytes += uint64(len(data))
 	p.mRx.Inc()
+	p.mRxBytes.Add(uint64(len(data)))
 	if p.sw.tracer != nil {
 		p.traceFrame("port.rx", 0, p.rxPackets)
 	}
@@ -133,12 +151,13 @@ func (p *Port) CarrierChange(up bool) {
 
 func (p *Port) send(data []byte) {
 	if !p.up {
-		p.mDrop.Inc()
+		p.mDropTx.Inc()
+		p.mDropTxBytes.Add(uint64(len(data)))
 		return
 	}
 	p.txPackets++
-	p.txBytes += uint64(len(data))
 	p.mTx.Inc()
+	p.mTxBytes.Add(uint64(len(data)))
 	if p.sw.tracer != nil {
 		p.traceFrame("port.tx", 1, p.txPackets)
 	}
@@ -222,9 +241,16 @@ func (s *Switch) AddPort(no uint32, l *link.Link, end link.End, detect sim.Sampl
 	}
 	p := &Port{sw: s, no: no, up: true, det: detect}
 	labels := fmt.Sprintf("{dpid=\"0x%x\",port=\"%d\"}", s.dpid, no)
+	labelsRx := fmt.Sprintf("{dpid=\"0x%x\",dir=\"rx\",port=\"%d\"}", s.dpid, no)
+	labelsTx := fmt.Sprintf("{dpid=\"0x%x\",dir=\"tx\",port=\"%d\"}", s.dpid, no)
 	p.mRx = s.metrics.Counter(MetricFramesRx + labels)
 	p.mTx = s.metrics.Counter(MetricFramesTx + labels)
-	p.mDrop = s.metrics.Counter(MetricFramesDropped + labels)
+	p.mRxBytes = s.metrics.Counter(MetricBytesRx + labels)
+	p.mTxBytes = s.metrics.Counter(MetricBytesTx + labels)
+	p.mDropRx = s.metrics.Counter(MetricFramesDropped + labelsRx)
+	p.mDropTx = s.metrics.Counter(MetricFramesDropped + labelsTx)
+	p.mDropRxBytes = s.metrics.Counter(MetricBytesDropped + labelsRx)
+	p.mDropTxBytes = s.metrics.Counter(MetricBytesDropped + labelsTx)
 	p.ep = link.NewEndpoint(l, end, p)
 	s.ports[no] = p
 	s.order = append(s.order, no)
@@ -367,6 +393,12 @@ func (s *Switch) featuresReply() *openflow.FeaturesReply {
 	return reply
 }
 
+// statsReply answers a stats poll. For StatsPort, a request scoped to a
+// PortNo this switch does not have yields an explicit empty reply — the
+// OpenFlow 1.0 behavior (OFPST_PORT with an empty body, not an error).
+// The reply still arrives, so the controller can distinguish "switch
+// answered: no such port" (empty, non-nil at the callback) from "reply
+// lost" (nil after the stats timeout); see Controller.RequestPortStatsFor.
 func (s *Switch) statsReply(req *openflow.StatsRequest) *openflow.StatsReply {
 	reply := &openflow.StatsReply{Kind: req.Kind}
 	switch req.Kind {
@@ -382,8 +414,8 @@ func (s *Switch) statsReply(req *openflow.StatsRequest) *openflow.StatsReply {
 				PortNo:    p.no,
 				RxPackets: p.rxPackets,
 				TxPackets: p.txPackets,
-				RxBytes:   p.rxBytes,
-				TxBytes:   p.txBytes,
+				RxBytes:   p.mRxBytes.Value(),
+				TxBytes:   p.mTxBytes.Value(),
 			})
 		}
 	}

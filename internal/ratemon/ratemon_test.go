@@ -1,0 +1,237 @@
+package ratemon_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sdntamper/internal/controller"
+	"sdntamper/internal/controllertest"
+	"sdntamper/internal/obs/trace"
+	"sdntamper/internal/openflow"
+	"sdntamper/internal/ratemon"
+)
+
+// testConfig: 1 s polls, 8 Mbps link, block at 50% (500 KB/s) sustained
+// for 2 polls, 5 s quarantine.
+func testConfig() ratemon.Config {
+	return ratemon.Config{
+		PollInterval:      time.Second,
+		LinkBandwidthBps:  8_000_000,
+		ThresholdFraction: 0.5,
+		SustainPolls:      2,
+		BlockDuration:     5 * time.Second,
+		BlockPriority:     1000,
+	}
+}
+
+// harness wires a monitor to a FakeAPI with one switch, one port.
+type harness struct {
+	f *controllertest.FakeAPI
+	m *ratemon.Monitor
+}
+
+func newHarness(t *testing.T, cfg ratemon.Config) *harness {
+	t.Helper()
+	f := controllertest.New()
+	f.SwitchIDs = []uint64{1}
+	m := ratemon.New(cfg)
+	m.Bind(f)
+	m.Start()
+	return &harness{f: f, m: m}
+}
+
+// step publishes the port's cumulative RxBytes and advances just past
+// one poll period, so the poll that samples this value also delivers
+// its callback within the step.
+func (h *harness) step(rxBytes uint64) {
+	h.f.PortStatsByDPID[1] = []openflow.PortStats{{PortNo: 1, RxBytes: rxBytes}}
+	h.f.Kernel.RunFor(time.Second + 5*time.Millisecond)
+}
+
+func TestSustainedFloodBlocks(t *testing.T) {
+	h := newHarness(t, testConfig())
+	h.step(0)         // seed
+	h.step(1_000_000) // 1 MB/s: over #1
+	if len(h.m.Blocks()) != 0 {
+		t.Fatal("blocked after a single over-threshold poll; SustainPolls=2")
+	}
+	h.step(2_000_000) // over #2 → block
+	blocks := h.m.Blocks()
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(blocks))
+	}
+	b := blocks[0]
+	if b.Ref != (controller.PortRef{DPID: 1, Port: 1}) {
+		t.Fatalf("blocked %v", b.Ref)
+	}
+	if math.Abs(b.Rate-1_000_000) > 1_000 {
+		t.Fatalf("recorded rate = %.0f, want ≈1MB/s", b.Rate)
+	}
+	// The drop rule: FlowAdd at BlockPriority matching only the in-port.
+	if len(h.f.FlowMods) != 1 {
+		t.Fatalf("flowmods = %d, want 1", len(h.f.FlowMods))
+	}
+	fm := h.f.FlowMods[0]
+	if fm.DPID != 1 || fm.FM.Command != openflow.FlowAdd || fm.FM.Priority != 1000 {
+		t.Fatalf("block rule = %+v", fm)
+	}
+	if fm.FM.Match.Wildcards != openflow.WildAll&^openflow.WildInPort || fm.FM.Match.Fields.InPort != 1 {
+		t.Fatalf("block match = %+v, want in-port-only", fm.FM.Match)
+	}
+	if len(fm.FM.Actions) != 0 {
+		t.Fatal("block rule must have no actions (drop)")
+	}
+	if h.f.AlertCount(ratemon.ReasonPortFlood) != 1 {
+		t.Fatalf("alerts = %d", h.f.AlertCount(ratemon.ReasonPortFlood))
+	}
+}
+
+// TestSingleBurstPasses is the false-positive control: one poll interval
+// of elephant traffic (e.g. a heavy-tailed legitimate burst) must not
+// block, and the cleared suspicion records an explicit pass verdict.
+func TestSingleBurstPasses(t *testing.T) {
+	h := newHarness(t, testConfig())
+	h.step(0)
+	h.step(2_000_000) // one hot interval: 2 MB/s
+	h.step(2_050_000) // back to 50 KB/s
+	h.step(2_100_000)
+	if n := len(h.m.Blocks()); n != 0 {
+		t.Fatalf("legitimate burst blocked (%d blocks)", n)
+	}
+	if len(h.f.FlowMods) != 0 {
+		t.Fatalf("flowmods pushed for a legitimate burst: %+v", h.f.FlowMods)
+	}
+	pass := h.f.Reg.Counter(`defense_verdicts_total{module="RATEMON",verdict="pass"}`).Value()
+	if pass != 1 {
+		t.Fatalf("pass verdicts = %d, want 1 (suspicion cleared)", pass)
+	}
+}
+
+func TestAutoUnblockThenReoffend(t *testing.T) {
+	h := newHarness(t, testConfig())
+	rx := uint64(0)
+	h.step(rx)
+	for i := 0; i < 2; i++ {
+		rx += 1_000_000
+		h.step(rx)
+	}
+	if len(h.m.Blocks()) != 1 {
+		t.Fatal("precondition: first block")
+	}
+	// Quarantined: 5 s pass (stats keep arriving; a blocked port's
+	// samples must not extend the sentence). The release pushes a
+	// FlowDelete scoped to the in-port.
+	for i := 0; i < 5; i++ {
+		rx += 10_000
+		h.step(rx)
+	}
+	if h.m.Unblocks() != 1 {
+		t.Fatalf("unblocks = %d, want 1", h.m.Unblocks())
+	}
+	last := h.f.FlowMods[len(h.f.FlowMods)-1]
+	if last.FM.Command != openflow.FlowDelete || last.FM.Match.Fields.InPort != 1 {
+		t.Fatalf("release flowmod = %+v", last)
+	}
+	if n := len(h.m.BlockedPorts()); n != 0 {
+		t.Fatalf("still quarantined: %d ports", n)
+	}
+	// Reoffend: the port must earn a fresh block, again sustaining
+	// SustainPolls — the release reset the consecutive counter.
+	rx += 1_000_000
+	h.step(rx)
+	if len(h.m.Blocks()) != 1 {
+		t.Fatal("reblocked after one post-release poll")
+	}
+	rx += 1_000_000
+	h.step(rx)
+	if len(h.m.Blocks()) != 2 {
+		t.Fatalf("blocks = %d, want 2 after reoffense", len(h.m.Blocks()))
+	}
+	if h.m.Reblocked() != 1 {
+		t.Fatalf("reblocked = %d, want 1", h.m.Reblocked())
+	}
+}
+
+// TestCounterWrap pins the mod-2^64 delta semantics end to end: a
+// counter that wraps between samples still yields the true rate.
+func TestCounterWrap(t *testing.T) {
+	if got := ratemon.ByteRate(math.MaxUint64-100, 900, time.Second); got != 1001 {
+		t.Fatalf("wrapped ByteRate = %v, want 1001", got)
+	}
+	if got := ratemon.ByteRate(500, 1500, 2*time.Second); got != 500 {
+		t.Fatalf("ByteRate = %v, want 500", got)
+	}
+	if got := ratemon.ByteRate(0, 1000, 0); got != 0 {
+		t.Fatalf("zero-dt ByteRate = %v", got)
+	}
+
+	h := newHarness(t, testConfig())
+	base := uint64(math.MaxUint64) - 1_500_000
+	h.step(base)             // seed near the top of the counter
+	h.step(base + 1_000_000) // still below wrap: over #1
+	h.step(498_500)          // wrapped: delta 1_000_000 → over #2 → block
+	if len(h.m.Blocks()) != 1 {
+		t.Fatalf("wrap-spanning flood not blocked (blocks=%d)", len(h.m.Blocks()))
+	}
+}
+
+// Inter-switch (link) ports aggregate transit traffic and are exempt.
+func TestLinkPortsExempt(t *testing.T) {
+	h := newHarness(t, testConfig())
+	h.f.LinkSet[controller.PortRef{DPID: 1, Port: 1}] = true
+	rx := uint64(0)
+	h.step(rx)
+	for i := 0; i < 4; i++ {
+		rx += 5_000_000
+		h.step(rx)
+	}
+	if len(h.m.Blocks()) != 0 {
+		t.Fatal("link port was blocked")
+	}
+}
+
+// TestDisconnectResetsBaseline: samples from before an outage must not
+// be differenced against samples after it.
+func TestDisconnectResetsBaseline(t *testing.T) {
+	h := newHarness(t, testConfig())
+	h.step(0)
+	h.step(1_000_000) // over #1
+	h.m.ObserveSwitchDisconnect(1)
+	h.step(2_000_000) // reseed only: would have been over #2
+	h.step(2_010_000)
+	if len(h.m.Blocks()) != 0 {
+		t.Fatalf("blocked across a disconnect reseed (blocks=%d)", len(h.m.Blocks()))
+	}
+}
+
+// TestBlockSpanTimeline: each block's verdict chains under a
+// ratemon.observe span — the probe→verdict forensic timeline.
+func TestBlockSpanTimeline(t *testing.T) {
+	h := newHarness(t, testConfig())
+	tr := trace.NewRecorder(256)
+	tr.SetClock(func() int64 { return int64(h.f.Kernel.Elapsed()) })
+	h.f.Reg.SetTracer(tr)
+	h.step(0)
+	h.step(1_000_000)
+	h.step(2_000_000)
+	if len(h.m.Blocks()) != 1 {
+		t.Fatal("precondition: block")
+	}
+	var observe, verdict *trace.Span
+	spans := tr.Spans()
+	for i := range spans {
+		switch spans[i].Name {
+		case "ratemon.observe":
+			observe = &spans[i]
+		case "verdict.block":
+			verdict = &spans[i]
+		}
+	}
+	if observe == nil || verdict == nil {
+		t.Fatalf("missing spans: observe=%v verdict=%v", observe, verdict)
+	}
+	if verdict.Parent != observe.ID {
+		t.Fatalf("verdict parent = %x, want observe span %x", verdict.Parent, observe.ID)
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SizeSampler draws flow sizes in bytes. Implementations must be pure
+// functions of the supplied RNG so generators stay deterministic and
+// shard-invariant: all randomness flows through the caller's source.
+type SizeSampler interface {
+	SampleBytes(rng *rand.Rand) int64
+}
+
+// ConstSize is a degenerate sampler: every flow is exactly N bytes.
+type ConstSize int64
+
+// SampleBytes implements SizeSampler.
+func (c ConstSize) SampleBytes(*rand.Rand) int64 { return int64(c) }
+
+// BoundedPareto samples flow sizes from a bounded Pareto distribution,
+// the standard heavy-tailed model for internet flow sizes ("mice and
+// elephants"): most flows are near Min, a small fraction carry most of
+// the bytes, and the bound at Max keeps single draws from dominating a
+// finite experiment.
+type BoundedPareto struct {
+	Alpha float64 // tail index; 1 < Alpha < 2 gives the classic heavy tail
+	Min   int64   // smallest flow size, bytes (L > 0)
+	Max   int64   // largest flow size, bytes (H > L)
+}
+
+// Validate reports whether the parameters define a proper distribution.
+func (p BoundedPareto) Validate() error {
+	if p.Alpha <= 0 {
+		return fmt.Errorf("bounded pareto: alpha %v must be > 0", p.Alpha)
+	}
+	if p.Min <= 0 || p.Max <= p.Min {
+		return fmt.Errorf("bounded pareto: need 0 < min < max, got [%d, %d]", p.Min, p.Max)
+	}
+	return nil
+}
+
+// SampleBytes implements SizeSampler by inverse-CDF sampling: for
+// U ~ Uniform(0,1),
+//
+//	x = L / (1 - U·(1-(L/H)^α))^(1/α)
+//
+// lies in [L, H] and follows the bounded Pareto law. One RNG draw per
+// sample keeps the generator's event cost flat.
+func (p BoundedPareto) SampleBytes(rng *rand.Rand) int64 {
+	l := float64(p.Min)
+	h := float64(p.Max)
+	u := rng.Float64()
+	x := l / math.Pow(1-u*(1-math.Pow(l/h, p.Alpha)), 1/p.Alpha)
+	if x < l {
+		x = l
+	}
+	if x > h {
+		x = h
+	}
+	return int64(x)
+}
+
+// Mean returns the analytic mean of the bounded Pareto distribution,
+// used to pick offered loads against a known link bandwidth.
+func (p BoundedPareto) Mean() float64 {
+	l := float64(p.Min)
+	h := float64(p.Max)
+	a := p.Alpha
+	if a == 1 {
+		return h * l / (h - l) * math.Log(h/l)
+	}
+	num := math.Pow(l, a) / (1 - math.Pow(l/h, a)) * a / (a - 1)
+	return num * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}

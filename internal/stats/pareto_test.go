@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoundedParetoBoundsAndTail(t *testing.T) {
+	p := BoundedPareto{Alpha: 1.2, Min: 2_000, Max: 200_000}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 200_000
+	var sum float64
+	small := 0 // draws in the bottom decade
+	for i := 0; i < n; i++ {
+		x := p.SampleBytes(rng)
+		if x < p.Min || x > p.Max {
+			t.Fatalf("sample %d outside [%d, %d]", x, p.Min, p.Max)
+		}
+		if x < 10*p.Min {
+			small++
+		}
+		sum += float64(x)
+	}
+	// Heavy tail: the overwhelming majority of flows are mice...
+	if frac := float64(small) / n; frac < 0.85 {
+		t.Fatalf("only %.2f of draws in the bottom decade; tail not heavy", frac)
+	}
+	// ...yet the empirical mean tracks the analytic mean, which sits far
+	// above the median because elephants carry the bytes.
+	mean := sum / n
+	want := p.Mean()
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("empirical mean %.0f vs analytic %.0f", mean, want)
+	}
+	if want < 2*float64(p.Min) {
+		t.Fatalf("analytic mean %.0f suspiciously close to Min", want)
+	}
+}
+
+func TestBoundedParetoDeterministic(t *testing.T) {
+	p := BoundedPareto{Alpha: 1.5, Min: 100, Max: 10_000}
+	a, b := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if x, y := p.SampleBytes(a), p.SampleBytes(b); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestBoundedParetoValidate(t *testing.T) {
+	for _, p := range []BoundedPareto{
+		{Alpha: 0, Min: 1, Max: 2},
+		{Alpha: 1.1, Min: 0, Max: 2},
+		{Alpha: 1.1, Min: 5, Max: 5},
+	} {
+		if p.Validate() == nil {
+			t.Fatalf("%+v validated", p)
+		}
+	}
+}
+
+func TestConstSize(t *testing.T) {
+	if got := ConstSize(512).SampleBytes(nil); got != 512 {
+		t.Fatalf("ConstSize = %d", got)
+	}
+}

@@ -1,0 +1,121 @@
+package traffic_test
+
+import (
+	"testing"
+	"time"
+
+	"sdntamper/internal/netsim"
+	"sdntamper/internal/sim"
+	"sdntamper/internal/stats"
+	"sdntamper/internal/traffic"
+)
+
+// oneSwitchPair builds h1 -- s1 -- h2 and lets the controller learn h2.
+func oneSwitchPair(t *testing.T, seed int64) *netsim.Network {
+	t.Helper()
+	n := netsim.New(seed)
+	n.AddSwitch(0x1, nil)
+	n.AddHost("h1", "aa:aa:aa:aa:aa:01", "10.0.0.1", 0x1, 1, sim.Const(time.Millisecond))
+	n.AddHost("h2", "aa:aa:aa:aa:aa:02", "10.0.0.2", 0x1, 2, sim.Const(time.Millisecond))
+	t.Cleanup(n.Shutdown)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestGeneratorDeliversFlows(t *testing.T) {
+	n := oneSwitchPair(t, 1)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	g := traffic.NewGenerator(h1, h2.MAC(), h2.IP(), 9999, traffic.Profile{
+		FlowsPerSec: 50,
+		FlowSize:    stats.BoundedPareto{Alpha: 1.2, Min: 2_000, Max: 50_000},
+	}, 1, 0)
+	g.Start()
+	if err := n.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Counters()
+	// ~500 flows expected at 50 flows/s over 10 s.
+	if c.Flows < 300 || c.Flows > 700 {
+		t.Fatalf("flows = %d, want ≈500", c.Flows)
+	}
+	if c.Packets < c.Flows { // every flow is ≥1 packet
+		t.Fatalf("packets %d < flows %d", c.Packets, c.Flows)
+	}
+	if c.Bytes != c.Packets*1000 {
+		t.Fatalf("bytes %d != packets %d × default payload", c.Bytes, c.Packets)
+	}
+	// The destination saw the bulk of the offered packets (minus any
+	// still in flight at Stop).
+	if rx := h2.RxFrames(); rx < c.Packets/2 {
+		t.Fatalf("h2 received %d of %d offered packets", rx, c.Packets)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	run := func() (traffic.Counters, uint64) {
+		n := oneSwitchPair(t, 7)
+		h1, h2 := n.Host("h1"), n.Host("h2")
+		g := traffic.NewGenerator(h1, h2.MAC(), h2.IP(), 9999, traffic.Profile{
+			FlowsPerSec: 100,
+			FlowSize:    stats.BoundedPareto{Alpha: 1.5, Min: 500, Max: 20_000},
+		}, 7, 3)
+		g.Start()
+		if err := n.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return g.Counters(), h2.RxFrames()
+	}
+	c1, rx1 := run()
+	c2, rx2 := run()
+	if c1 != c2 || rx1 != rx2 {
+		t.Fatalf("replay diverged: %+v/%d vs %+v/%d", c1, rx1, c2, rx2)
+	}
+}
+
+func TestBurstDrainsWithoutStart(t *testing.T) {
+	n := oneSwitchPair(t, 2)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	g := traffic.NewGenerator(h1, h2.MAC(), h2.IP(), 9999, traffic.Profile{
+		FlowSize: stats.ConstSize(5_000),
+	}, 2, 0)
+	g.Burst(20) // 20 flows × 5 packets
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Counters()
+	if c.Flows != 20 || c.Packets != 100 {
+		t.Fatalf("burst counters = %+v, want 20 flows / 100 packets", c)
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", g.Pending())
+	}
+}
+
+func TestStopDiscardsPending(t *testing.T) {
+	n := oneSwitchPair(t, 3)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	g := traffic.NewGenerator(h1, h2.MAC(), h2.IP(), 9999, traffic.Profile{
+		FlowSize: stats.ConstSize(1_000_000), // 1000 packets per flow
+	}, 3, 0)
+	g.Burst(5)
+	if err := n.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	sent := g.Counters().Packets
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.Counters().Packets != sent {
+		t.Fatalf("packets kept flowing after Stop: %d → %d", sent, g.Counters().Packets)
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending = %d after Stop", g.Pending())
+	}
+}
