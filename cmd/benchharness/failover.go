@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sdntamper/internal/core"
+)
+
+// failoverReport is the JSON artifact the failover experiment writes.
+// Everything except the wall rows is produced on the virtual clock and
+// verified byte-identical across the shard/parallel sweep before the
+// file is written.
+type failoverReport struct {
+	Experiment string               `json:"experiment"`
+	Seed       int64                `json:"seed"`
+	Note       string               `json:"note"`
+	Failover   *core.FailoverResult `json:"failover_all_shard_counts"`
+	Matrix     []core.PartitionRow  `json:"partitioned_matrix_all_shard_counts"`
+	Wall       []failoverWallRow    `json:"wall_nondeterministic"`
+}
+
+type failoverWallRow struct {
+	Stage       string  `json:"stage"`
+	Shards      int     `json:"shards"`
+	Parallel    bool    `json:"parallel"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// failoverConfigs is the sweep every stage runs: the serial single-shard
+// reference plus two sharded parallel configurations.
+var failoverConfigs = []struct {
+	shards   int
+	parallel bool
+}{
+	{1, false},
+	{2, true},
+	{5, true},
+}
+
+// failoverRow canonicalizes a result for cross-configuration comparison:
+// the shard/parallel identity fields differ by design, everything else
+// must match the serial reference byte for byte.
+func failoverRow(r *core.FailoverResult) (string, error) {
+	c := *r
+	c.Shards, c.Parallel = 0, false
+	buf, err := json.Marshal(&c)
+	return string(buf), err
+}
+
+// printFailover runs the clustered control-plane experiment: the
+// replica-crash failover under full TOPOGUARD+ (election, role
+// handover, state replay, rediscovery, and the LLI's re-learn window),
+// then the attack matrix under partitioned controller views. Both
+// stages run the full shard/parallel sweep and must be byte-identical
+// to the serial reference; the failover must leak zero probes and raise
+// zero spurious alerts.
+func printFailover(seed int64, outPath string) error {
+	header("FAILOVER: controller replica crash and partitioned-view matrix")
+	report := failoverReport{
+		Experiment: "failover",
+		Seed:       seed,
+		Note: "Failover and matrix rows are produced on the virtual clock and verified " +
+			"byte-identical across the shard/parallel sweep before this file is written; " +
+			"wall rows are host-dependent. lli_blind_window_ns is the crash-to-relearn " +
+			"window during which the surviving master has no control-RTT baselines for " +
+			"the re-homed switches and records latency measurements unenforced.",
+	}
+
+	var refRow, refProm string
+	for _, cfg := range failoverConfigs {
+		start := time.Now()
+		res, err := core.RunFailover(seed, cfg.shards, cfg.parallel)
+		if err != nil {
+			return fmt.Errorf("failover shards=%d: %w", cfg.shards, err)
+		}
+		report.Wall = append(report.Wall, failoverWallRow{
+			Stage: "failover", Shards: cfg.shards, Parallel: cfg.parallel,
+			WallSeconds: time.Since(start).Seconds(),
+		})
+		row, err := failoverRow(res)
+		if err != nil {
+			return err
+		}
+		if refRow == "" {
+			refRow, refProm = row, res.MetricsProm
+			report.Failover = res
+			continue
+		}
+		if row != refRow {
+			return fmt.Errorf("failover shards=%d parallel=%v: deterministic surface diverged from serial reference",
+				cfg.shards, cfg.parallel)
+		}
+		if res.MetricsProm != refProm {
+			return fmt.Errorf("failover shards=%d parallel=%v: merged metrics not byte-identical",
+				cfg.shards, cfg.parallel)
+		}
+	}
+	fo := report.Failover
+	if fo.PendingLeaked != 0 {
+		return fmt.Errorf("failover leaked %d pending probes", fo.PendingLeaked)
+	}
+	if fo.FalseAlerts != 0 {
+		return fmt.Errorf("failover raised %d spurious defense alerts", fo.FalseAlerts)
+	}
+	fmt.Println("replica 1 (master of switches 3-4) crashed under full TOPOGUARD+:")
+	for _, line := range fo.Timeline {
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Printf("reconvergence        : %s\n", time.Duration(fo.ReconvergenceNs).Truncate(time.Microsecond))
+	fmt.Printf("LLI blind window     : %s\n", time.Duration(fo.BlindWindowNs).Truncate(time.Microsecond))
+	fmt.Printf("replayed state       : %d links, %d hosts\n", fo.ReplayedLinks, fo.ReplayedHosts)
+	fmt.Printf("pending probes leaked: %d\n", fo.PendingLeaked)
+	fmt.Printf("spurious alerts      : %d\n", fo.FalseAlerts)
+
+	var refMatrix, refMatrixProm string
+	for _, cfg := range failoverConfigs {
+		start := time.Now()
+		res, err := core.RunPartitionedMatrix(seed, cfg.shards, cfg.parallel)
+		if err != nil {
+			return fmt.Errorf("matrix shards=%d: %w", cfg.shards, err)
+		}
+		report.Wall = append(report.Wall, failoverWallRow{
+			Stage: "matrix", Shards: cfg.shards, Parallel: cfg.parallel,
+			WallSeconds: time.Since(start).Seconds(),
+		})
+		rows, err := json.Marshal(res.Rows)
+		if err != nil {
+			return err
+		}
+		if refMatrix == "" {
+			refMatrix, refMatrixProm = string(rows), res.MetricsProm
+			report.Matrix = res.Rows
+			continue
+		}
+		if string(rows) != refMatrix {
+			return fmt.Errorf("matrix shards=%d parallel=%v: rows diverged from serial reference",
+				cfg.shards, cfg.parallel)
+		}
+		if res.MetricsProm != refMatrixProm {
+			return fmt.Errorf("matrix shards=%d parallel=%v: merged metrics not byte-identical",
+				cfg.shards, cfg.parallel)
+		}
+	}
+	fmt.Println("\npartitioned-view matrix (switches 1-2 on replica 0, 3-4 on replica 1):")
+	fmt.Printf("%-45s %-11s %-11s %-11s %s\n", "Attack", "Replicated", "Fabricated", "Verdict", "Detected by")
+	for _, row := range report.Matrix {
+		by := "-"
+		if len(row.DetectedBy) > 0 {
+			by = fmt.Sprint(row.DetectedBy)
+		}
+		fmt.Printf("%-45s %-11v %-11v %-11s %s\n", row.Attack, row.Replicated, row.Fabricated, row.Verdict, by)
+	}
+
+	fmt.Println()
+	fmt.Printf("%-10s %-8s %-10s %s\n", "Stage", "Shards", "Parallel", "Wall")
+	for _, w := range report.Wall {
+		fmt.Printf("%-10s %-8d %-10v %s\n", w.Stage, w.Shards, w.Parallel,
+			time.Duration(w.WallSeconds*float64(time.Second)).Truncate(10*time.Millisecond))
+	}
+	fmt.Println("deterministic surface and merged metrics byte-identical across the shard/parallel sweep")
+
+	if outPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("report written to", outPath)
+	return nil
+}

@@ -21,6 +21,13 @@
 //
 //	benchharness -experiment dos -dosk 4 -dosfloor 30000 -dosout BENCH_pr8.json
 //
+// And the clustered-controller failover experiment, which crashes a
+// replica mid-run, measures the deterministic reconvergence and the
+// LLI blind window, and evaluates the attack matrix under partitioned
+// controller views at 1, 2 and 5 shards:
+//
+//	benchharness -experiment failover -seed 21 -failoverout BENCH_pr9.json
+//
 // Profiling: -cpuprofile and -memprofile write pprof files for whatever
 // experiment ran. Profiles observe wall-clock behavior only; they do not
 // perturb the virtual clock, so profiled runs stay deterministic.
@@ -52,7 +59,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos, scale, dos")
+	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos, scale, dos, failover")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
@@ -65,6 +72,7 @@ func run(args []string) error {
 	dosK := fs.Int("dosk", 4, "dos experiment: fat-tree arity")
 	dosFloor := fs.Float64("dosfloor", 0, "dos experiment: fail if any run executes fewer kernel events/s (0 = no floor)")
 	dosOut := fs.String("dosout", "", "dos experiment: write the JSON report to this file")
+	failoverOut := fs.String("failoverout", "", "failover experiment: write the JSON report to this file")
 	chaosTrials := fs.Int("chaostrials", 5, "chaos experiment: seeded trials per fault class")
 	chaosClasses := fs.String("chaosclasses", "", "chaos experiment: comma-separated fault classes (default all: flap-storm,loss-episode,latency-spike,disconnect)")
 	chaosOut := fs.String("chaosout", "", "chaos experiment: write the JSON report to this file")
@@ -132,6 +140,9 @@ func run(args []string) error {
 		},
 		"dos": func(s int64, _ int) error {
 			return printDoS(s, *dosK, *dosFloor, *dosOut)
+		},
+		"failover": func(s int64, _ int) error {
+			return printFailover(s, *failoverOut)
 		},
 	}
 

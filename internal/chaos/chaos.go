@@ -34,11 +34,18 @@ const (
 	// ClassDisconnect severs a switch's control channel, optionally
 	// reconnecting it later.
 	ClassDisconnect Class = "disconnect"
+	// ClassControllerCrash kills a controller replica in a clustered
+	// control plane, optionally reviving it later. Requires a bound
+	// ReplicaSet (BindCluster); PlanFor returns nil without one.
+	ClassControllerCrash Class = "controller-crash"
 )
 
-// Classes lists every built-in fault class in canonical order.
+// Classes lists every built-in fault class in canonical order. New
+// classes append at the end: per-trial seeds derive from a class's
+// index here, so reordering would silently reroll every existing
+// trial's fault plan.
 func Classes() []Class {
-	return []Class{ClassFlapStorm, ClassLossEpisode, ClassLatencySpike, ClassDisconnect}
+	return []Class{ClassFlapStorm, ClassLossEpisode, ClassLatencySpike, ClassDisconnect, ClassControllerCrash}
 }
 
 // ParseClasses resolves a comma-free list of class names, rejecting
@@ -205,6 +212,64 @@ func (f *Disconnect) apply(inj *Injector) {
 	}
 }
 
+// ReplicaSet is the clustered-control-plane surface chaos drives:
+// killing and reviving controller replicas by ID. *cluster.Cluster
+// satisfies it; the indirection keeps this package free of a cluster
+// dependency for non-clustered networks.
+type ReplicaSet interface {
+	ReplicaCount() int
+	Crash(rid int) bool
+	Restart(rid int) bool
+}
+
+// ControllerCrash kills one controller replica: its mastered switches
+// drain exactly like a Disconnect (pending probes fail, links evict
+// "switch-down") and the surviving replicas elect a new master for
+// them. With Down > 0 the replica revives that long after the crash,
+// rejoining as a slave; otherwise it stays dead.
+type ControllerCrash struct {
+	Replica int
+	Down    time.Duration
+}
+
+// Class implements Fault.
+func (f *ControllerCrash) Class() Class { return ClassControllerCrash }
+
+// Duration implements Fault.
+func (f *ControllerCrash) Duration() time.Duration { return f.Down }
+
+func (f *ControllerCrash) apply(inj *Injector) {
+	rs := inj.cluster
+	if rs == nil {
+		return
+	}
+	inj.kernel.Schedule(0, func() { rs.Crash(f.Replica) })
+	if f.Down > 0 {
+		inj.kernel.Schedule(f.Down, func() { rs.Restart(f.Replica) })
+	}
+}
+
+// ControllerRestart revives a previously crashed replica, for scripted
+// plans that separate the crash and the revival (randomized plans fold
+// both into ControllerCrash.Down).
+type ControllerRestart struct {
+	Replica int
+}
+
+// Class implements Fault.
+func (f *ControllerRestart) Class() Class { return ClassControllerCrash }
+
+// Duration implements Fault.
+func (f *ControllerRestart) Duration() time.Duration { return 0 }
+
+func (f *ControllerRestart) apply(inj *Injector) {
+	rs := inj.cluster
+	if rs == nil {
+		return
+	}
+	inj.kernel.Schedule(0, func() { rs.Restart(f.Replica) })
+}
+
 // TimedFault pairs a fault with its start offset from injection time.
 type TimedFault struct {
 	After time.Duration
@@ -238,10 +303,11 @@ type injMetrics struct {
 // seeded, so randomized plans replay identically for a given seed, and
 // drawing from it never perturbs the simulation's own random stream.
 type Injector struct {
-	net    *netsim.Network
-	kernel *sim.Kernel
-	rng    *rand.Rand
-	m      injMetrics
+	net     *netsim.Network
+	kernel  *sim.Kernel
+	rng     *rand.Rand
+	cluster ReplicaSet
+	m       injMetrics
 }
 
 // NewInjector binds an injector to a network. Fault counters land in the
@@ -267,6 +333,11 @@ func NewInjector(net *netsim.Network, seed int64) *Injector {
 // Rand exposes the injector's private RNG for callers composing their own
 // randomized scenarios.
 func (inj *Injector) Rand() *rand.Rand { return inj.rng }
+
+// BindCluster attaches the clustered control plane the controller-crash
+// fault class operates on. Without a binding, ControllerCrash faults
+// are inert and PlanFor(ClassControllerCrash) returns nil.
+func (inj *Injector) BindCluster(rs ReplicaSet) { inj.cluster = rs }
 
 // Inject arms one fault to start after the given delay. The fault's
 // internal schedule is laid out immediately (deterministically); only its
@@ -352,6 +423,17 @@ func (inj *Injector) PlanFor(class Class) Plan {
 		return Plan{{Fault: &Disconnect{
 			DPID: switches[r.Intn(len(switches))],
 			Down: 5*time.Second + time.Duration(r.Intn(20))*time.Second,
+		}}}
+	case ClassControllerCrash:
+		if inj.cluster == nil || inj.cluster.ReplicaCount() < 2 {
+			return nil
+		}
+		// Down comfortably exceeds detection + election + rediscovery, so
+		// the failover completes while the replica is dead and the revival
+		// exercises the slave-rejoin replay.
+		return Plan{{Fault: &ControllerCrash{
+			Replica: r.Intn(inj.cluster.ReplicaCount()),
+			Down:    10*time.Second + time.Duration(r.Intn(20))*time.Second,
 		}}}
 	}
 	return nil

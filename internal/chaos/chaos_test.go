@@ -198,6 +198,17 @@ func TestDisconnectFaultDrainsPendingProbes(t *testing.T) {
 func TestInjectorPlansDeterministic(t *testing.T) {
 	for _, class := range Classes() {
 		mk := func() Plan {
+			if class == ClassControllerCrash {
+				// The crash class draws against a clustered control plane.
+				ctb, err := NewClusterTestbed(5, 2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ctb.Close()
+				inj := NewInjector(ctb.Net, 99)
+				inj.BindCluster(ctb.Cluster)
+				return inj.PlanFor(class)
+			}
 			tb := newTB(t, 5)
 			return NewInjector(tb.Net, 99).PlanFor(class)
 		}

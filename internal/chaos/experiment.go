@@ -177,6 +177,9 @@ func Run(cfg Config) (*Result, *obs.Registry, error) {
 	}
 	trials, merged, err := exp.GridInstrumented(specs, cfg.Workers,
 		func(s trialSpec) (TrialResult, *obs.Registry, error) {
+			if s.class == ClassControllerCrash {
+				return runClusterTrial(s, cfg)
+			}
 			return runTrial(s, cfg)
 		})
 	if err != nil {

@@ -1,0 +1,73 @@
+package controller
+
+import (
+	"time"
+)
+
+// Cluster state import surface. A controller replica that did not witness
+// an event directly learns it from the cluster's replicated log through
+// these methods. Imports bypass approvers and the module hooks that feed
+// replication (link/host observers), so applying a peer's log entry never
+// re-enters the log; PortStatus imports do reach PortStatusObservers,
+// because defenses like the CMM need the port-event evidence regardless
+// of which replica owns the switch.
+
+// ImportLink installs or refreshes a link learned from a peer replica's
+// discovery, without consulting LinkApprovers or notifying LinkObservers.
+func (c *Controller) ImportLink(l Link, lastSeen time.Time) {
+	if _, ok := c.links[l]; !ok {
+		c.linkBorn[l] = lastSeen
+		c.invalidateTopo()
+	}
+	c.links[l] = lastSeen
+}
+
+// ImportLinkRemoval mirrors a peer replica's link eviction: the link
+// leaves the topology silently (no metrics, no observers), since the
+// origin replica already accounted for the removal.
+func (c *Controller) ImportLinkRemoval(l Link) {
+	if _, ok := c.links[l]; !ok {
+		return
+	}
+	delete(c.links, l)
+	delete(c.linkBorn, l)
+	c.invalidateTopo()
+}
+
+// ImportHost installs or updates a Host Tracking Service entry learned
+// from a peer replica, without consulting HostMoveApprovers or notifying
+// HostMoveObservers.
+func (c *Controller) ImportHost(h HostEntry) {
+	cp := h
+	c.hosts[h.MAC] = &cp
+}
+
+// LinkLastSeen reports when a link was last confirmed (by LLDP or an
+// import), and whether it is currently in the topology. Cluster
+// reconvergence checks use it to distinguish replayed state from links
+// the new master has re-verified itself.
+func (c *Controller) LinkLastSeen(l Link) (time.Time, bool) {
+	seen, ok := c.links[l]
+	return seen, ok
+}
+
+// ImportPortStatus delivers a peer replica's Port-Status evidence to this
+// replica's PortStatusObservers (the CMM's correlation window must span
+// the whole cluster, not just locally mastered switches). It does not
+// touch topology: the owning replica performs link eviction and
+// replicates the removals.
+func (c *Controller) ImportPortStatus(ev *PortStatusEvent) {
+	for _, o := range c.portObservers {
+		o.ObservePortStatus(ev)
+	}
+}
+
+// Resume restarts the discovery and sweep tickers after a Shutdown, for
+// a crashed replica being revived as a cluster slave. Safe to call on a
+// running controller: the old tickers stop before fresh ones arm.
+func (c *Controller) Resume() {
+	c.discoveryTicker.Stop()
+	c.sweepTicker.Stop()
+	c.discoveryTicker = c.kernel.NewTicker(c.profile.DiscoveryInterval, c.runDiscovery)
+	c.sweepTicker = c.kernel.NewTicker(linkSweepInterval, c.sweepLinks)
+}

@@ -77,16 +77,17 @@ type Controller struct {
 	probeNonce        uint64
 	icmpID            uint16
 
-	modules         []SecurityModule
-	interceptors    []PacketInInterceptor
-	portObservers   []PortStatusObserver
-	linkApprovers   []LinkApprover
-	linkObservers   []LinkObserver
-	moveApprovers   []HostMoveApprover
-	moveObservers   []HostMoveObserver
-	lldpObservers   []LLDPSendObserver
-	fmObservers     []FlowModObserver
-	switchObservers []SwitchObserver
+	modules          []SecurityModule
+	interceptors     []PacketInInterceptor
+	portObservers    []PortStatusObserver
+	linkApprovers    []LinkApprover
+	linkObservers    []LinkObserver
+	moveApprovers    []HostMoveApprover
+	moveObservers    []HostMoveObserver
+	lldpObservers    []LLDPSendObserver
+	fmObservers      []FlowModObserver
+	switchObservers  []SwitchObserver
+	removalObservers []LinkRemovalObserver
 
 	alerts []Alert
 
@@ -255,6 +256,9 @@ func (c *Controller) Register(m SecurityModule) {
 	}
 	if h, ok := m.(SwitchObserver); ok {
 		c.switchObservers = append(c.switchObservers, h)
+	}
+	if h, ok := m.(LinkRemovalObserver); ok {
+		c.removalObservers = append(c.removalObservers, h)
 	}
 }
 
@@ -523,6 +527,9 @@ func (c *Controller) RemoveLink(l Link) {
 	if _, ok := c.links[l]; ok {
 		c.m.linksRemoved.Inc()
 		c.event(obs.KindTopology, "link-removed", l.Src, "evicted "+l.String())
+		for _, o := range c.removalObservers {
+			o.ObserveLinkRemoved(l, "api")
+		}
 	}
 	delete(c.links, l)
 	delete(c.linkBorn, l)

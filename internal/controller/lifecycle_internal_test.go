@@ -190,6 +190,101 @@ func TestReconnectBeforeTimeoutKeepsHosts(t *testing.T) {
 	}
 }
 
+// TestReconnectDoesNotResurrectStaleProbeTimeouts pins the
+// reconnect-during-pending-probe interleaving: a switch disconnects
+// while probes are outstanding (their timeout events were queued before
+// the disconnect) and reconnects immediately after. The stale timeouts
+// must stay canceled — running the kernel past the old horizon must
+// neither re-fire the failed generation's callbacks nor fail the new
+// generation's probes early.
+func TestReconnectDoesNotResurrectStaleProbeTimeouts(t *testing.T) {
+	c, k := newBareController(t)
+	connectSwitch(c, 5)
+
+	var oldCalls int
+	c.MeasureEchoRTT(5, 30*time.Second, func(_ time.Duration, ok bool) {
+		oldCalls++
+		if ok {
+			t.Error("pre-disconnect echo probe reported ok")
+		}
+	})
+	c.ProbeHost(PortRef{DPID: 5, Port: 1}, packet.MustMAC("aa:aa:aa:aa:aa:aa"),
+		packet.MustIPv4("10.0.0.1"), 30*time.Second, func(alive bool) {
+			oldCalls++
+			if alive {
+				t.Error("pre-disconnect host probe reported alive")
+			}
+		})
+	c.Disconnect(5)
+	if oldCalls != 2 {
+		t.Fatalf("disconnect failed %d probes fast, want 2", oldCalls)
+	}
+
+	// Reconnect at once and start the next generation with a LONGER
+	// timeout, so a stale 30s event firing would be visible as an early
+	// failure of the new probes.
+	connectSwitch(c, 5)
+	var newCalls int
+	c.MeasureEchoRTT(5, 60*time.Second, func(time.Duration, bool) { newCalls++ })
+	c.ProbeHost(PortRef{DPID: 5, Port: 1}, packet.MustMAC("aa:aa:aa:aa:aa:aa"),
+		packet.MustIPv4("10.0.0.1"), 60*time.Second, func(bool) { newCalls++ })
+	if got := c.PendingProbes(); got.Total() != 2 {
+		t.Fatalf("pending after reconnect = %+v, want the 2 new probes", got)
+	}
+
+	k.RunFor(35 * time.Second) // past the stale generation's horizon
+	if oldCalls != 2 {
+		t.Fatalf("stale timeout resurrected a failed probe callback: calls = %d", oldCalls)
+	}
+	if newCalls != 0 {
+		t.Fatalf("new generation's probes failed at the STALE horizon: calls = %d", newCalls)
+	}
+	k.RunFor(30 * time.Second) // past the new generation's own horizon
+	if newCalls != 2 {
+		t.Fatalf("new generation's probes fired %d callbacks at their own horizon, want 2", newCalls)
+	}
+	if got := c.PendingProbes(); got.Total() != 0 {
+		t.Fatalf("pending after both horizons = %+v, want empty", got)
+	}
+}
+
+// TestDisconnectReconnectGenerations cycles disconnect/reconnect with
+// probes outstanding in every generation: each generation's callbacks
+// fire exactly once (fail-fast on the disconnect that killed them), and
+// no table leaks a waiter across the cycles.
+func TestDisconnectReconnectGenerations(t *testing.T) {
+	c, k := newBareController(t)
+	const cycles = 3
+	calls := make([]int, cycles)
+	for g := 0; g < cycles; g++ {
+		connectSwitch(c, 5)
+		gen := g
+		c.MeasureControlRTT(5, 30*time.Second, func(_ time.Duration, ok bool) {
+			calls[gen]++
+			if ok {
+				t.Errorf("generation %d path probe reported ok across disconnect", gen)
+			}
+		})
+		c.RequestPortStats(5, func(ps []openflow.PortStats) {
+			calls[gen]++
+			if ps != nil {
+				t.Errorf("generation %d stats delivered across disconnect", gen)
+			}
+		})
+		k.RunFor(time.Second)
+		c.Disconnect(5)
+	}
+	k.RunFor(2 * time.Minute)
+	for g, n := range calls {
+		if n != 2 {
+			t.Errorf("generation %d callbacks = %d, want exactly 2", g, n)
+		}
+	}
+	if got := c.PendingProbes(); got.Total() != 0 {
+		t.Fatalf("pending after %d cycles = %+v, want empty", cycles, got)
+	}
+}
+
 // lifecycleRecorder is a SecurityModule recording switch lifecycle hooks.
 type lifecycleRecorder struct {
 	disconnects []uint64

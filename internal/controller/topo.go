@@ -67,6 +67,9 @@ func (c *Controller) removeLinksMatching(pred func(Link) bool, reason string) in
 		delete(c.linkBorn, l)
 		c.m.linksRemoved.Inc()
 		c.event(obs.KindTopology, "link-removed", l.Src, reason+" "+l.String())
+		for _, o := range c.removalObservers {
+			o.ObserveLinkRemoved(l, reason)
+		}
 	}
 	if len(doomed) > 0 {
 		c.invalidateTopo()

@@ -197,6 +197,14 @@ type LLDPSendObserver interface {
 	ObserveLLDPSend(ev *LLDPSendEvent)
 }
 
+// LinkRemovalObserver sees every link eviction after it commits, with the
+// eviction reason ("timeout", "port-down", "switch-down", "api", ...).
+// Cluster replication uses it to mirror topology deletions into peer
+// replicas' shared log.
+type LinkRemovalObserver interface {
+	ObserveLinkRemoved(l Link, reason string)
+}
+
 // FlowModObserver sees every FlowMod the controller pushes; SPHINX treats
 // these as the trusted statement of intended network state.
 type FlowModObserver interface {

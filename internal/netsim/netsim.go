@@ -53,6 +53,8 @@ type Network struct {
 	hostLinks []*link.Link
 	controls  map[uint64]*link.Channel
 
+	noAttach bool
+
 	tracer *trace.Recorder
 }
 
@@ -129,12 +131,22 @@ func (n *Network) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dataplane.
 	}
 	sw.SetControlSender(func(b []byte) { ch.Send(link.EndA, b) })
 	ch.OnReceive(link.EndA, sw.HandleControl)
-	conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
-	ch.OnReceive(link.EndB, conn.Handle)
+	if !n.noAttach {
+		conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
+		ch.OnReceive(link.EndB, conn.Handle)
+	}
 	n.switches[dpid] = sw
 	n.controls[dpid] = ch
 	return sw
 }
+
+// SetAutoAttach controls whether AddSwitch wires each new switch's
+// control channel to the built-in controller (the default). Cluster
+// harnesses disable it and attach switches to replicas themselves.
+func (n *Network) SetAutoAttach(on bool) { n.noAttach = !on }
+
+// ControlKernel reports the kernel the controller runs on.
+func (n *Network) ControlKernel() *sim.Kernel { return n.Kernel }
 
 // SwitchIDs lists the datapath ids of every switch in the network in
 // ascending order (connected to the controller or not).

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"sdntamper/internal/controller"
@@ -24,6 +25,7 @@ const (
 	shardTagControl
 	shardTagTrunk
 	shardTagHostLink
+	shardTagOOB
 )
 
 // ShardedNetwork is a simulated SDN network partitioned across several
@@ -57,6 +59,8 @@ type ShardedNetwork struct {
 	controls    map[uint64]*link.Channel
 	trunks      []*link.Link
 	crossTrunks int
+	oobCount    uint64
+	noAttach    bool
 
 	// tracers holds one flight recorder per shard once EnableTrace runs
 	// (nil before); tracedLinks/tracedChans remember each entity's
@@ -153,11 +157,49 @@ func (n *ShardedNetwork) AddSwitch(dpid uint64, controlLatency sim.Sampler) *dat
 	}
 	sw.SetControlSender(func(b []byte) { ch.Send(link.EndA, b) })
 	ch.OnReceive(link.EndA, sw.HandleControl)
-	conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
-	ch.OnReceive(link.EndB, conn.Handle)
+	if !n.noAttach {
+		conn := n.Controller.Connect(func(b []byte) { ch.Send(link.EndB, b) })
+		ch.OnReceive(link.EndB, conn.Handle)
+	}
 	n.switches[dpid] = sw
 	n.controls[dpid] = ch
 	return sw
+}
+
+// SetAutoAttach controls whether AddSwitch wires each new switch's
+// control channel to the built-in shard-0 controller (the default). A
+// cluster harness disables it and performs every attach/detach itself,
+// so mastership — not construction order — decides which replica owns a
+// switch.
+func (n *ShardedNetwork) SetAutoAttach(on bool) { n.noAttach = !on }
+
+// SwitchIDs lists the datapath ids of every switch in the network in
+// ascending order (attached to a controller or not).
+func (n *ShardedNetwork) SwitchIDs() []uint64 {
+	out := make([]uint64, 0, len(n.switches))
+	for dpid := range n.switches {
+		out = append(out, dpid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ControlChannel returns the control channel wired to a switch, or nil
+// for an unknown switch. End A faces the switch; end B faces whichever
+// controller replica currently masters it.
+func (n *ShardedNetwork) ControlChannel(dpid uint64) *link.Channel { return n.controls[dpid] }
+
+// ControlKernel reports the kernel controller replicas run on (shard 0).
+func (n *ShardedNetwork) ControlKernel() *sim.Kernel { return n.kernels[0] }
+
+// AddOOBChannel creates an out-of-band side channel on the control shard
+// with identity-seeded RNG streams, so its latency draws are invariant
+// to shard count like every other entity's.
+func (n *ShardedNetwork) AddOOBChannel(latency sim.Sampler) *link.Channel {
+	ch := link.NewChannel(n.kernels[0], latency)
+	n.oobCount++
+	ch.SetRands(n.rands(shardTagOOB, n.oobCount))
+	return ch
 }
 
 // AddHost attaches a host on the same shard as its access switch. It

@@ -48,6 +48,11 @@ const (
 	MetricBlocks       = "ratemon_blocks_total"
 	MetricUnblocks     = "ratemon_unblocks_total"
 	MetricBlockedPorts = "ratemon_blocked_ports"
+	// MetricPollFailures counts polls that got no counter reply (unknown
+	// dpid, disconnect, or the 5 s stats timeout). Each failure also
+	// unseeds the switch's baselines so the next good sample re-seeds
+	// instead of being differenced against a pre-outage snapshot.
+	MetricPollFailures = "ratemon_poll_failures_total"
 )
 
 // ratemonTag folds the module name into span identities (FNV-1a of
@@ -133,9 +138,10 @@ type Monitor struct {
 	cfg      Config
 	verdicts *obs.Verdicts
 
-	mBlocks   *obs.Counter
-	mUnblocks *obs.Counter
-	gBlocked  *obs.Gauge
+	mBlocks       *obs.Counter
+	mUnblocks     *obs.Counter
+	mPollFailures *obs.Counter
+	gBlocked      *obs.Gauge
 
 	ports map[controller.PortRef]*portState
 
@@ -175,6 +181,7 @@ func (m *Monitor) Bind(api controller.API) {
 	m.verdicts = obs.NewVerdicts(reg, ModuleName)
 	m.mBlocks = reg.Counter(MetricBlocks)
 	m.mUnblocks = reg.Counter(MetricUnblocks)
+	m.mPollFailures = reg.Counter(MetricPollFailures)
 	m.gBlocked = reg.Gauge(MetricBlockedPorts)
 }
 
@@ -260,7 +267,21 @@ func (m *Monitor) poll() {
 		dpid := dpid
 		m.api.RequestPortStats(dpid, func(ports []openflow.PortStats) {
 			if ports == nil {
-				return // lost reply or disconnect; seeds reset via observer
+				// Lost reply: unknown dpid, disconnect, or the stats
+				// timeout. The disconnect observer only covers the middle
+				// case — a timed-out poll on a live switch would otherwise
+				// leave a stale ΔBytes baseline, and the next good sample
+				// would be differenced across the whole outage into one
+				// bogus (usually enormous) rate. Skip the interval and
+				// unseed the switch's ports instead.
+				m.mPollFailures.Inc()
+				for ref, st := range m.ports {
+					if ref.DPID == dpid {
+						st.seeded = false
+						st.over = 0
+					}
+				}
+				return
 			}
 			for _, ps := range ports {
 				ref := controller.PortRef{DPID: dpid, Port: ps.PortNo}

@@ -205,6 +205,44 @@ func TestDisconnectResetsBaseline(t *testing.T) {
 	}
 }
 
+// TestPollFailureResetsBaseline: a poll whose stats request gets no
+// reply (the 5 s timeout path — the switch never disconnected, so the
+// SwitchObserver reset never fires) must skip the rate sample and unseed
+// the baseline. Without the reset, the first post-outage sample would be
+// differenced against the pre-outage snapshot into one bogus rate.
+func TestPollFailureResetsBaseline(t *testing.T) {
+	h := newHarness(t, testConfig())
+	h.step(0)
+	h.step(100_000) // 100 KB/s: under threshold
+	// Outage: the switch stops answering stats for two polls, while its
+	// port keeps counting. No disconnect is observed.
+	delete(h.f.PortStatsByDPID, 1)
+	h.f.Kernel.RunFor(2 * (time.Second + 5*time.Millisecond))
+	fails := h.f.Reg.Counter(ratemon.MetricPollFailures).Value()
+	if fails != 2 {
+		t.Fatalf("poll failures = %d, want 2", fails)
+	}
+	// Replies resume 4 MB further along. Differencing against the stale
+	// 100 KB baseline would read as 2 MB/s sustained; a reseeded monitor
+	// makes no judgment on the first sample and sees calm afterwards.
+	h.step(4_100_000)
+	h.step(4_150_000)
+	h.step(4_200_000)
+	if n := len(h.m.Blocks()); n != 0 {
+		t.Fatalf("blocked off a stale pre-outage baseline (%d blocks)", n)
+	}
+	if n := len(h.f.FlowMods); n != 0 {
+		t.Fatalf("flowmods pushed after poll outage: %+v", h.f.FlowMods)
+	}
+	// A real flood after recovery must still be caught: the fix skips
+	// bogus samples, it does not blind the monitor.
+	h.step(5_200_000) // over #1
+	h.step(6_200_000) // over #2 → block
+	if n := len(h.m.Blocks()); n != 1 {
+		t.Fatalf("post-recovery flood not blocked (blocks=%d)", n)
+	}
+}
+
 // TestBlockSpanTimeline: each block's verdict chains under a
 // ratemon.observe span — the probe→verdict forensic timeline.
 func TestBlockSpanTimeline(t *testing.T) {

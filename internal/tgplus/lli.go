@@ -178,6 +178,18 @@ func (l *LLI) ApproveLink(ev *controller.LinkEvent) bool {
 		latency = 0
 	}
 
+	if l.cfg.RequireControlEstimates && (!okSrc || !okDst) {
+		// Post-handover blind window: a re-homed switch has no control
+		// estimate on its new master yet, so the inferred link latency
+		// still contains unknown control delay. Judging it would either
+		// raise a spurious alert or poison the verified window; record
+		// the measurement unenforced and wait for fresh control probes.
+		l.linkLat.Observe(latency)
+		l.samples = append(l.samples, LatencySample{At: ev.ReceivedAt, Link: ev.Link, Latency: latency})
+		l.verdicts.Pass()
+		return true
+	}
+
 	l.linkLat.Observe(latency)
 	w := l.window
 	sample := LatencySample{At: ev.ReceivedAt, Link: ev.Link, Latency: latency}
