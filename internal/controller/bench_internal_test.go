@@ -3,6 +3,7 @@ package controller
 import (
 	"testing"
 
+	"sdntamper/internal/openflow"
 	"sdntamper/internal/sim"
 )
 
@@ -56,6 +57,45 @@ func BenchmarkEgressPortLine32(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchEgress(b, c, 16, 17)
+	}
+}
+
+// benchDiscoveryController builds a controller whose connection table
+// mimics a discovered fabric — switches×ports up ports behind no-op
+// transmit functions — so one runDiscovery call exercises the full
+// per-round sweep (sorted port iteration, LLDP construction, Packet-Out
+// marshaling) without any dataplane.
+func benchDiscoveryController(b *testing.B, switches, ports int) *Controller {
+	b.Helper()
+	c := New(sim.New())
+	b.Cleanup(c.Shutdown)
+	for dpid := uint64(1); dpid <= uint64(switches); dpid++ {
+		conn := &Conn{ctl: c, send: func([]byte) {}, dpid: dpid,
+			ports: make(map[uint32]openflow.PortDesc, ports)}
+		for p := uint32(1); p <= uint32(ports); p++ {
+			conn.ports[p] = openflow.PortDesc{No: p, Up: true}
+		}
+		c.conns[dpid] = conn
+	}
+	return c
+}
+
+// BenchmarkDiscoveryRound measures one full OFDP discovery round at k=4
+// fat-tree scale (20 switches × 4 ports). The per-round port slice now
+// comes from the controller's reusable scratch buffer; allocs/op records
+// what remains (frame and event objects on the emission path), which is
+// the regression surface for the sweep's steady-state churn.
+func BenchmarkDiscoveryRound(b *testing.B) {
+	c := benchDiscoveryController(b, 20, 4)
+	o, ok := c.discovery.(*ofdpStrategy)
+	if !ok {
+		b.Fatalf("default discovery strategy is %T, want *ofdpStrategy", c.discovery)
+	}
+	o.runDiscovery() // warm the scratch slice and pending-probe table
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.runDiscovery()
 	}
 }
 

@@ -31,6 +31,7 @@ func (c *Controller) ImportLinkRemoval(l Link) {
 	}
 	delete(c.links, l)
 	delete(c.linkBorn, l)
+	c.discovery.linkRemoved(l, "import")
 	c.invalidateTopo()
 }
 
@@ -62,12 +63,12 @@ func (c *Controller) ImportPortStatus(ev *PortStatusEvent) {
 	}
 }
 
-// Resume restarts the discovery and sweep tickers after a Shutdown, for
-// a crashed replica being revived as a cluster slave. Safe to call on a
-// running controller: the old tickers stop before fresh ones arm.
+// Resume restarts the discovery machinery after a Shutdown, for a
+// crashed replica being revived as a cluster slave. Safe to call on a
+// running controller: the strategy stops before it re-arms (under OFDP
+// the old tickers stop before fresh ones arm; under sOFTDP the retained
+// sessions re-arm their timers).
 func (c *Controller) Resume() {
-	c.discoveryTicker.Stop()
-	c.sweepTicker.Stop()
-	c.discoveryTicker = c.kernel.NewTicker(c.profile.DiscoveryInterval, c.runDiscovery)
-	c.sweepTicker = c.kernel.NewTicker(linkSweepInterval, c.sweepLinks)
+	c.discovery.stop()
+	c.discovery.start()
 }

@@ -91,13 +91,27 @@ type Controller struct {
 
 	alerts []Alert
 
-	discoveryTicker *sim.Ticker
-	sweepTicker     *sim.Ticker
+	// discovery is the active link discovery strategy: the classic OFDP
+	// sweep tickers, or event-driven sOFTDP (see strategy.go). Selected
+	// by Profile.Discovery at construction.
+	discovery discoveryStrategy
+
+	// seed is the trial seed deterministic discovery schedules derive
+	// from (sim.MixSeed over seed + entity identity): OFDP stagger
+	// offsets and sOFTDP session jitter. Zero is a valid seed.
+	seed int64
+
+	// pathAnchors mirrors the liveness of registered physical paths
+	// (trunks) for sOFTDP's BFD sessions; see RegisterPathAnchor.
+	pathAnchors map[pathKey]bool
 
 	// lldpBuf is the discovery scratch buffer: each probe's Ethernet+LLDP
 	// frame is built into it in place and copied out by the PacketOut
 	// marshal, so a discovery round allocates nothing per port.
 	lldpBuf []byte
+	// portScratch backs sortedPortsInto so per-switch port iteration on
+	// the discovery and flood paths does not allocate per round.
+	portScratch []uint32
 }
 
 var _ API = (*Controller)(nil)
@@ -135,6 +149,20 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(c *Controller) { c.m = newCtlMetrics(reg) }
 }
 
+// WithSeed sets the trial seed the controller's deterministic discovery
+// schedules derive from (OFDP stagger offsets, sOFTDP session jitter).
+// The default OFDP path draws nothing from it, so omitting the option
+// never changes behavior.
+func WithSeed(seed int64) Option {
+	return func(c *Controller) { c.seed = seed }
+}
+
+// WithDiscovery selects the discovery protocol, overriding the profile's
+// Discovery field. Apply after WithProfile.
+func WithDiscovery(p DiscoveryProtocol) Option {
+	return func(c *Controller) { c.profile.Discovery = p }
+}
+
 // New creates a controller on the given kernel and starts its link
 // discovery and link timeout sweeps.
 func New(kernel *sim.Kernel, opts ...Option) *Controller {
@@ -151,6 +179,7 @@ func New(kernel *sim.Kernel, opts ...Option) *Controller {
 		pendingEchoes:     make(map[uint32]*pendingEcho),
 		pendingPathProbes: make(map[uint64]*pendingPathProbe),
 		pendingHostProbes: make(map[uint16]*pendingHostProbe),
+		pathAnchors:       make(map[pathKey]bool),
 		icmpID:            0x4000,
 		logf:              func(string, ...any) {},
 	}
@@ -158,15 +187,15 @@ func New(kernel *sim.Kernel, opts ...Option) *Controller {
 	for _, opt := range opts {
 		opt(c)
 	}
-	c.discoveryTicker = kernel.NewTicker(c.profile.DiscoveryInterval, c.runDiscovery)
-	c.sweepTicker = kernel.NewTicker(linkSweepInterval, c.sweepLinks)
+	c.m.bindDiscovery(c.profile.Discovery.String())
+	c.discovery = newDiscoveryStrategy(c)
+	c.discovery.start()
 	return c
 }
 
-// Shutdown stops the controller's background tickers.
+// Shutdown stops the controller's background discovery machinery.
 func (c *Controller) Shutdown() {
-	c.discoveryTicker.Stop()
-	c.sweepTicker.Stop()
+	c.discovery.stop()
 }
 
 // SetTracer attaches the span recorder of the controller's shard and
@@ -217,6 +246,7 @@ func (c *Controller) Disconnect(dpid uint64) bool {
 			delete(c.pendingLLDP, ref)
 		}
 	}
+	c.discovery.switchDisconnected(dpid)
 	for _, o := range c.switchObservers {
 		o.ObserveSwitchDisconnect(dpid)
 	}
@@ -330,13 +360,7 @@ func (conn *Conn) Handle(data []byte) {
 		for _, o := range c.switchObservers {
 			o.ObserveSwitchConnect(conn.dpid)
 		}
-		// Floodlight probes a switch's ports as soon as it joins rather
-		// than waiting out a full discovery interval.
-		for _, p := range msg.Ports {
-			if p.Up {
-				c.emitLLDP(conn.dpid, p.No)
-			}
-		}
+		c.discovery.switchConnected(conn, msg)
 	case *openflow.EchoRequest:
 		// Real peers keepalive the control channel; answer in kind.
 		conn.txBuf = openflow.AppendMarshal(conn.txBuf[:0], xid, &openflow.EchoReply{Data: msg.Data})
@@ -366,11 +390,7 @@ func (c *Controller) handlePortStatus(dpid uint64, msg *openflow.PortStatus) {
 	for _, o := range c.portObservers {
 		o.ObservePortStatus(ev)
 	}
-	// A restored port is probed immediately, as Floodlight's link
-	// discovery reacts to port-status changes.
-	if !ev.Down() {
-		c.emitLLDP(dpid, msg.Desc.No)
-	}
+	c.discovery.portStatus(ev)
 }
 
 // handlePacketIn decodes and routes one Packet-In through internal probe
@@ -530,6 +550,7 @@ func (c *Controller) RemoveLink(l Link) {
 		for _, o := range c.removalObservers {
 			o.ObserveLinkRemoved(l, "api")
 		}
+		c.discovery.linkRemoved(l, "api")
 	}
 	delete(c.links, l)
 	delete(c.linkBorn, l)

@@ -23,30 +23,20 @@ type pendingProbe struct {
 	span uint64
 }
 
-// runDiscovery emits one LLDP probe per connected switch port, exactly as
-// Floodlight's LinkDiscoveryManager does each discovery interval: a
-// Packet-Out per port whose payload is an LLDP frame naming the origin
-// (chassis = DPID, port id = port number). Iteration is sorted so runs
-// are reproducible (map order would otherwise reorder RNG draws).
-func (c *Controller) runDiscovery() {
-	for _, dpid := range c.Switches() {
-		conn := c.conns[dpid]
-		for _, no := range sortedPorts(conn.ports) {
-			if !conn.ports[no].Up {
-				continue
-			}
-			c.emitLLDP(dpid, no)
-		}
-	}
-}
-
-// sortedPorts returns a port map's keys in ascending order.
-func sortedPorts(ports map[uint32]openflow.PortDesc) []uint32 {
-	out := make([]uint32, 0, len(ports))
+// sortedPortsInto returns a port map's keys in ascending order, backed
+// by the controller's reusable scratch slice: the discovery sweep and
+// the flood path iterate switch ports every round, and a fresh slice per
+// switch per round was measurable churn at fat-tree scale. The returned
+// slice is valid until the next call; callers must not retain it across
+// another port iteration (the kernel is single-threaded, so there is no
+// concurrent caller).
+func (c *Controller) sortedPortsInto(ports map[uint32]openflow.PortDesc) []uint32 {
+	out := c.portScratch[:0]
 	for no := range ports {
 		out = append(out, no)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	c.portScratch = out
 	return out
 }
 
@@ -83,6 +73,8 @@ func (c *Controller) emitLLDP(dpid uint64, port uint32) {
 	}
 	c.lldpBuf = packet.AppendEthernetHeader(c.lldpBuf[:0], lldp.MulticastMAC, switchPortMAC(dpid, port), packet.EtherTypeLLDP)
 	c.lldpBuf = frame.AppendTo(c.lldpBuf)
+	c.m.discProbes.Inc()
+	c.m.discBytes.Add(uint64(len(c.lldpBuf)))
 	c.sendPacketOut(dpid, openflow.PortNone, []openflow.Action{openflow.Output(port)}, c.lldpBuf)
 	if tr != nil {
 		tr.SetCurrent(prev)
@@ -190,6 +182,7 @@ func (c *Controller) handleLLDPIn(ev *PacketInEvent) {
 	for _, o := range c.linkObservers {
 		o.ObserveLink(linkEv)
 	}
+	c.discovery.linkSeen(linkEv)
 }
 
 // sweepLinks evicts links that have not been re-verified within the

@@ -99,7 +99,7 @@ func (c *Controller) flood(ev *PacketInEvent) {
 	for _, dpid := range c.Switches() {
 		conn := c.conns[dpid]
 		var actions []openflow.Action
-		for _, no := range sortedPorts(conn.ports) {
+		for _, no := range c.sortedPortsInto(conn.ports) {
 			if !conn.ports[no].Up {
 				continue
 			}

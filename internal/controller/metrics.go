@@ -33,6 +33,14 @@ const (
 	MetricSwitchReconnects  = "controller_switch_reconnect_total"
 	MetricProbesFailed      = "controller_probe_failed_total"
 	MetricHostsAgedOut      = "controller_host_aged_out_total"
+
+	// Discovery-protocol metrics. The counters are labeled with the
+	// active protocol ("ofdp" | "softdp") so load comparisons read
+	// straight out of merged snapshots; the gauge tracks live sOFTDP
+	// BFD sessions (zero under OFDP).
+	MetricDiscoveryProbes = "discovery_probes_total"
+	MetricDiscoveryBytes  = "discovery_bytes_total"
+	MetricBFDSessions     = "softdp_bfd_sessions"
 )
 
 // ctlMetrics holds the controller's resolved metric handles. Hot paths
@@ -62,6 +70,12 @@ type ctlMetrics struct {
 	switchReconnects  *obs.Counter
 	probesFailed      *obs.Counter
 	hostsAgedOut      *obs.Counter
+
+	// Discovery-protocol handles, bound by bindDiscovery once the
+	// profile (and hence the protocol label) is known.
+	discProbes  *obs.Counter
+	discBytes   *obs.Counter
+	bfdSessions *obs.Gauge
 
 	// alertReasons caches the per-(module,reason) labeled counters so a
 	// repeated alert (the paper's alert-flood attack raises thousands)
@@ -103,6 +117,27 @@ func newCtlMetrics(reg *obs.Registry) ctlMetrics {
 		alertReasons: make(map[alertKey]*obs.Counter),
 	}
 }
+
+// bindDiscovery resolves the protocol-labeled discovery handles. Called
+// from New after options apply (the registry and profile are final by
+// then), so the labeled names land in whatever registry the controller
+// ends up recording into.
+func (m *ctlMetrics) bindDiscovery(protocol string) {
+	m.discProbes = m.reg.Counter(fmt.Sprintf("%s{protocol=%q}", MetricDiscoveryProbes, protocol))
+	m.discBytes = m.reg.Counter(fmt.Sprintf("%s{protocol=%q}", MetricDiscoveryBytes, protocol))
+	m.bfdSessions = m.reg.Gauge(MetricBFDSessions)
+}
+
+// DiscoveryStats reports the cumulative discovery probe emissions and
+// LLDP payload bytes for whichever protocol the controller runs; load
+// experiments read deltas of these around a measurement window.
+func (c *Controller) DiscoveryStats() (probes, bytes uint64) {
+	return c.m.discProbes.Value(), c.m.discBytes.Value()
+}
+
+// BFDSessionCount reports the live sOFTDP BFD session gauge (zero under
+// OFDP).
+func (c *Controller) BFDSessionCount() int64 { return c.m.bfdSessions.Value() }
 
 // alertCounter returns (creating on first use) the labeled counter for one
 // (module, reason) alert combination.

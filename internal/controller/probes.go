@@ -328,27 +328,35 @@ func (c *Controller) failPendingProbes(dpid uint64) {
 }
 
 // PendingProbeCounts is a diagnostic snapshot of the controller's pending
-// probe tables. Chaos and leak tests assert all four return to zero after
-// fault episodes.
+// probe tables. Chaos and leak tests assert all of them return to zero
+// after fault episodes.
 type PendingProbeCounts struct {
 	Echoes     int
 	PathProbes int
 	HostProbes int
 	Stats      int
+	// Discovery counts sOFTDP's armed debounce probes (always zero
+	// under OFDP). Included in the zero-leak invariant: once a fault
+	// episode's debounce windows drain, no pending probe may remain.
+	Discovery int
 }
 
 // Total sums all pending entries.
 func (p PendingProbeCounts) Total() int {
-	return p.Echoes + p.PathProbes + p.HostProbes + p.Stats
+	return p.Echoes + p.PathProbes + p.HostProbes + p.Stats + p.Discovery
 }
 
 // PendingProbes reports how many probe waiters of each kind are currently
 // outstanding.
 func (c *Controller) PendingProbes() PendingProbeCounts {
-	return PendingProbeCounts{
+	out := PendingProbeCounts{
 		Echoes:     len(c.pendingEchoes),
 		PathProbes: len(c.pendingPathProbes),
 		HostProbes: len(c.pendingHostProbes),
 		Stats:      len(c.pendingStats),
 	}
+	if mgr := c.SOFTDPManager(); mgr != nil {
+		out.Discovery = mgr.PendingProbes()
+	}
+	return out
 }

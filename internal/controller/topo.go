@@ -70,6 +70,7 @@ func (c *Controller) removeLinksMatching(pred func(Link) bool, reason string) in
 		for _, o := range c.removalObservers {
 			o.ObserveLinkRemoved(l, reason)
 		}
+		c.discovery.linkRemoved(l, reason)
 	}
 	if len(doomed) > 0 {
 		c.invalidateTopo()

@@ -18,12 +18,42 @@ import (
 	"sdntamper/internal/sim"
 )
 
+// DiscoveryProtocol selects the controller's link discovery machinery.
+type DiscoveryProtocol uint8
+
+const (
+	// DiscoveryOFDP is the classic periodic sweep: one LLDP probe per up
+	// port every DiscoveryInterval, links evicted by the LinkTimeout
+	// sweep. The zero value, so existing profiles are unchanged.
+	DiscoveryOFDP DiscoveryProtocol = iota
+	// DiscoverySOFTDP is event-driven discovery (sOFTDP, arXiv
+	// 1705.04527): probes only on port-up / switch-connect / topology
+	// events, per-link BFD sessions for liveness instead of the sweep.
+	DiscoverySOFTDP
+)
+
+// String names the protocol as it appears in metric labels.
+func (p DiscoveryProtocol) String() string {
+	if p == DiscoverySOFTDP {
+		return "softdp"
+	}
+	return "ofdp"
+}
+
 // Profile captures the per-controller link discovery timing constants the
-// paper tabulates in Table III.
+// paper tabulates in Table III, plus the discovery-protocol selection.
 type Profile struct {
 	Name              string
 	DiscoveryInterval time.Duration
 	LinkTimeout       time.Duration
+
+	// Discovery selects the discovery machinery (default OFDP sweep).
+	Discovery DiscoveryProtocol
+	// DiscoveryStagger spreads each OFDP round's per-port burst across
+	// the interval with deterministic per-port offsets instead of
+	// emitting every probe at the same virtual instant. Opt-in: the
+	// paper figures depend on the default synchronized burst.
+	DiscoveryStagger bool
 }
 
 // Controller profiles from Table III.

@@ -46,10 +46,9 @@ type MatrixRow struct {
 // (every cell owns a private scenario); row order and per-cell seeds
 // match the serial sweep exactly.
 func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
-	type cell func(def Defenses, s int64) (Verdict, error)
 	type spec struct {
 		name string
-		fn   cell
+		fn   matrixCell
 		seed int64
 	}
 	run4 := func(sp spec) (MatrixRow, error) {
@@ -70,7 +69,28 @@ func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
 		return row, nil
 	}
 
-	specs := []spec{
+	var specs []spec
+	for i, sp := range matrixSpecs() {
+		specs = append(specs, spec{name: sp.name, fn: sp.fn, seed: seed + int64(i)*101})
+	}
+	return exp.Grid(specs, 0, run4)
+}
+
+// matrixCell runs one attack under one defense stack and reports the
+// verdict. The trailing controller options let protocol sweeps re-run
+// the same cell under a different discovery configuration; the attack
+// matrix itself passes none, so its scenarios are unchanged.
+type matrixCell func(def Defenses, seed int64, ctlOpts ...controller.Option) (Verdict, error)
+
+// matrixSpec names one attack row shared by every matrix-style sweep.
+type matrixSpec struct {
+	name string
+	fn   matrixCell
+}
+
+// matrixSpecs lists the paper's seven attack rows in report order.
+func matrixSpecs() []matrixSpec {
+	return []matrixSpec{
 		{name: "naive link fabrication (LLDP relay)", fn: runFabricationCell(false)},
 		{name: "OOB port amnesia + link fabrication", fn: runFabricationCell(true)},
 		{name: "in-band port amnesia + link fabrication", fn: runInBandCell},
@@ -79,10 +99,6 @@ func RunAttackMatrix(seed int64) ([]MatrixRow, error) {
 		{name: "distributed SYN flood (spoofed sources)", fn: runDoSCell(attack.SYNFlood)},
 		{name: "distributed link saturation (UDP)", fn: runDoSCell(attack.LinkSaturation)},
 	}
-	for i := range specs {
-		specs[i].seed = seed + int64(i)*101
-	}
-	return exp.Grid(specs, 0, run4)
 }
 
 // fabricationAlertReasons are the alert codes that count as detecting a
@@ -118,9 +134,15 @@ func fabricationVerdict(s *Scenario, fabricated bool) Verdict {
 	}
 }
 
-func runFabricationCell(useAmnesia bool) func(Defenses, int64) (Verdict, error) {
-	return func(def Defenses, seed int64) (Verdict, error) {
-		s := NewFig9Testbed(seed, def)
+func runFabricationCell(useAmnesia bool) matrixCell {
+	return fabricationCell(attack.FabricationConfig{UseAmnesia: useAmnesia})
+}
+
+// fabricationCell runs the out-of-band fabrication with an arbitrary
+// attack configuration (the discovery matrix adds the re-flap variant).
+func fabricationCell(cfg attack.FabricationConfig) matrixCell {
+	return func(def Defenses, seed int64, ctlOpts ...controller.Option) (Verdict, error) {
+		s := NewFig9Testbed(seed, def, ctlOpts...)
 		defer s.Close()
 		if err := s.Run(2 * time.Second); err != nil {
 			return Failed, err
@@ -138,8 +160,7 @@ func runFabricationCell(useAmnesia bool) func(Defenses, int64) (Verdict, error) 
 			}
 		}
 		fab := attack.NewOOBFabrication(s.Net.Kernel,
-			s.Net.Host(HostAttackerA), s.Net.Host(HostAttackerB), s.OOB,
-			attack.FabricationConfig{UseAmnesia: useAmnesia})
+			s.Net.Host(HostAttackerA), s.Net.Host(HostAttackerB), s.OOB, cfg)
 		fab.Start()
 		if err := s.Run(40 * time.Second); err != nil {
 			return Failed, err
@@ -150,8 +171,8 @@ func runFabricationCell(useAmnesia bool) func(Defenses, int64) (Verdict, error) 
 	}
 }
 
-func runInBandCell(def Defenses, seed int64) (Verdict, error) {
-	s := NewFig9Testbed(seed, def)
+func runInBandCell(def Defenses, seed int64, ctlOpts ...controller.Option) (Verdict, error) {
+	s := NewFig9Testbed(seed, def, ctlOpts...)
 	defer s.Close()
 	rec := &linkSeen{want: FabricatedLinkFig9()}
 	s.Controller().Register(rec)
@@ -181,8 +202,8 @@ var hijackAlertReasons = []string{
 	sphinx.ReasonIPMACConflict,
 }
 
-func runNaiveHijackCell(def Defenses, seed int64) (Verdict, error) {
-	s := NewFig2Scenario(seed, def)
+func runNaiveHijackCell(def Defenses, seed int64, ctlOpts ...controller.Option) (Verdict, error) {
+	s := NewFig2Scenario(seed, def, ctlOpts...)
 	defer s.Close()
 	if err := seedFig2Bindings(s); err != nil {
 		return Failed, err
@@ -215,8 +236,8 @@ func runNaiveHijackCell(def Defenses, seed int64) (Verdict, error) {
 	}
 }
 
-func runPortProbingCell(def Defenses, seed int64) (Verdict, error) {
-	s := NewFig2Scenario(seed, def)
+func runPortProbingCell(def Defenses, seed int64, ctlOpts ...controller.Option) (Verdict, error) {
+	s := NewFig2Scenario(seed, def, ctlOpts...)
 	defer s.Close()
 	if err := seedFig2Bindings(s); err != nil {
 		return Failed, err
@@ -259,13 +280,13 @@ var dosAlertReasons = []string{ratemon.ReasonPortFlood}
 // alerts and drops the bulk of the flood at the attackers' ingress
 // ports scores Blocked. Only the rate monitor reacts to volume, so the
 // topology-integrity stacks are expected to score Undetected here.
-func runDoSCell(variant attack.DoSVariant) func(Defenses, int64) (Verdict, error) {
-	return func(def Defenses, seed int64) (Verdict, error) {
+func runDoSCell(variant attack.DoSVariant) matrixCell {
+	return func(def Defenses, seed int64, ctlOpts ...controller.Option) (Verdict, error) {
 		if def.RateMon {
 			cfg := DoSRateMonConfig(variant)
 			def.RateMonConfig = &cfg
 		}
-		s := NewFig9Testbed(seed, def)
+		s := NewFig9Testbed(seed, def, ctlOpts...)
 		defer s.Close()
 		if err := s.Run(2 * time.Second); err != nil {
 			return Failed, err

@@ -142,6 +142,11 @@ type Link struct {
 	trEnt      uint64
 	trA, trB   *trace.Recorder
 	seqA, seqB uint64
+
+	// Fault watching (see OnFault): the registered observer and the
+	// deliverability state it last saw, so only transitions notify.
+	faultFn    func(alive bool)
+	faultAlive bool
 }
 
 // NewLink creates a link whose per-frame one-way delay is drawn from
@@ -303,6 +308,37 @@ func (l *Link) SetLossRate(p float64) {
 	default:
 		l.lossRate = p
 	}
+	l.notifyFault()
+}
+
+// OnFault registers fn to observe the link's deliverability transitions:
+// fn(false) when the link stops delivering frames (either carrier drops,
+// or injected loss reaches 100%), fn(true) when delivery becomes possible
+// again. This is the physical-layer fault signal a BFD session riding
+// the link would detect — modeled as a state observation rather than
+// simulated hello traffic, exactly as Attachment.CarrierChange abstracts
+// 802.3 link pulses. Only genuine transitions notify. One observer per
+// link; registration snapshots the current state as the baseline. The
+// callback runs synchronously inside the mutating call (SetCarrier /
+// SetLossRate), so it executes wherever those are legal: on the owning
+// kernel, or between runs.
+func (l *Link) OnFault(fn func(alive bool)) {
+	l.faultFn = fn
+	l.faultAlive = l.deliverable()
+}
+
+// deliverable reports whether a frame sent now could possibly arrive.
+func (l *Link) deliverable() bool { return l.upA && l.upB && l.lossRate < 1 }
+
+// notifyFault fires the fault observer when deliverability transitioned.
+func (l *Link) notifyFault() {
+	if l.faultFn == nil {
+		return
+	}
+	if alive := l.deliverable(); alive != l.faultAlive {
+		l.faultAlive = alive
+		l.faultFn(alive)
+	}
 }
 
 // Dropped reports frames lost to injected loss. On a split link the
@@ -413,6 +449,7 @@ func (l *Link) SetCarrier(end End, up bool) {
 	if peer := l.peer(end); peer != nil {
 		peer.CarrierChange(up)
 	}
+	l.notifyFault()
 }
 
 // Endpoint binds a link and an end into a single handle, so components

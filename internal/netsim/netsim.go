@@ -67,7 +67,7 @@ func New(seed int64, ctlOpts ...controller.Option) *Network {
 	k := sim.New(sim.WithSeed(seed))
 	reg := obs.NewRegistry()
 	obs.InstrumentKernel(reg, k)
-	opts := append([]controller.Option{controller.WithMetrics(reg)}, ctlOpts...)
+	opts := append([]controller.Option{controller.WithMetrics(reg), controller.WithSeed(seed)}, ctlOpts...)
 	return &Network{
 		Kernel:     k,
 		Controller: controller.New(k, opts...),
@@ -253,7 +253,26 @@ func (n *Network) AddTrunk(dpidA uint64, portA uint32, dpidB uint64, portB uint3
 	swA.AddPort(portA, l, link.EndA, nil)
 	swB.AddPort(portB, l, link.EndB, nil)
 	n.trunks = append(n.trunks, l)
+	n.anchorTrunk(l, dpidA, portA, dpidB, portB)
 	return l
+}
+
+// anchorTrunk wires a trunk's physical fault signal into the controller
+// when the sOFTDP strategy is active: the trunk registers as a BFD path
+// anchor, and deliverability transitions (carrier drops, total loss)
+// feed Controller.NotifyPathState — the in-simulation stand-in for the
+// per-link BFD sessions sOFTDP runs in place of sweep timeouts. Under
+// OFDP nothing is registered, so the default protocol's behavior (and
+// byte output) is untouched.
+func (n *Network) anchorTrunk(l *link.Link, dpidA uint64, portA uint32, dpidB uint64, portB uint32) {
+	if n.noAttach || n.Controller.Profile().Discovery != controller.DiscoverySOFTDP {
+		return
+	}
+	a := controller.PortRef{DPID: dpidA, Port: portA}
+	b := controller.PortRef{DPID: dpidB, Port: portB}
+	n.Controller.RegisterPathAnchor(a, b)
+	ctl := n.Controller
+	l.OnFault(func(alive bool) { ctl.NotifyPathState(a, b, alive) })
 }
 
 // Trunks lists every inter-switch link in creation order.

@@ -94,7 +94,7 @@ func NewSharded(seed int64, shards int, partition map[uint64]int, ctlOpts ...con
 		kernels[i] = sim.New(sim.WithSeed(sim.MixSeed(seed, shardTagKernel, uint64(i))))
 		regs[i] = obs.NewRegistry()
 	}
-	opts := append([]controller.Option{controller.WithMetrics(regs[0])}, ctlOpts...)
+	opts := append([]controller.Option{controller.WithMetrics(regs[0]), controller.WithSeed(seed)}, ctlOpts...)
 	return &ShardedNetwork{
 		Group:      sim.NewShardGroup(kernels...),
 		Controller: controller.New(kernels[0], opts...),
@@ -252,6 +252,18 @@ func (n *ShardedNetwork) AddTrunk(dpidA uint64, portA uint32, dpidB uint64, port
 	swA.AddPort(portA, l, link.EndA, nil)
 	swB.AddPort(portB, l, link.EndB, nil)
 	n.trunks = append(n.trunks, l)
+	// BFD path anchor for sOFTDP, exactly as in the serial Network. The
+	// fault callback runs inside SetCarrier/SetLossRate; on split trunks
+	// SetCarrier already panics and SetLossRate is legal only between
+	// runs, so the shard-0 controller is never entered mid-epoch from
+	// another shard's goroutine.
+	if !n.noAttach && n.Controller.Profile().Discovery == controller.DiscoverySOFTDP {
+		a := controller.PortRef{DPID: dpidA, Port: portA}
+		b := controller.PortRef{DPID: dpidB, Port: portB}
+		n.Controller.RegisterPathAnchor(a, b)
+		ctl := n.Controller
+		l.OnFault(func(alive bool) { ctl.NotifyPathState(a, b, alive) })
+	}
 	return l
 }
 
